@@ -1,0 +1,162 @@
+// Package avd is an automated vulnerability discovery platform for
+// distributed systems, reproducing Banabic, Candea and Guerraoui,
+// "Automated Vulnerability Discovery in Distributed Systems" (HotDep /
+// DSN 2011).
+//
+// AVD synthesizes malicious nodes in a distributed system and searches,
+// with a feedback-driven metaheuristic, for the behaviors that maximally
+// degrade the performance observed by the correct, unmodified nodes. The
+// search space is a hyperspace of test parameters — one dimension per
+// testing-tool parameter — and the search algorithm is the paper's
+// Algorithm 1: parents sampled from the top-impact set Π, plugins
+// sampled by historical fitness gain, and mutation distance
+// 1 − parent.impact/µ.
+//
+// The package ships with a complete PBFT implementation over a
+// deterministic discrete-event simulator, a MAC-corruption fault
+// injector, and the plugins used in the paper's evaluation, so the whole
+// PBFT case study (Big MAC attack, slow-primary bug, Figures 2 and 3)
+// runs on a single machine:
+//
+//	runner, _ := avd.NewPBFTRunner(avd.DefaultWorkload())
+//	ctrl, _ := avd.NewController(avd.ControllerConfig{Seed: 1},
+//	    avd.NewMACCorruptPlugin(), avd.NewClientsPlugin())
+//	results := avd.Campaign(ctrl, runner, 125)
+//	best := avd.BestSoFar(results)[len(results)-1]
+//	fmt.Printf("best attack: %s impact=%.2f\n", best.Scenario, best.Impact)
+//
+// See the examples/ directory for runnable scenarios and the cmd/
+// binaries for the experiment harnesses that regenerate the paper's
+// figures.
+package avd
+
+import (
+	"avd/internal/cluster"
+	"avd/internal/core"
+	"avd/internal/plugin"
+	"avd/internal/scenario"
+)
+
+// Re-exported core types. Aliases keep the implementation in internal
+// packages while giving library users stable names.
+type (
+	// Result is the measured outcome of one executed test scenario.
+	Result = core.Result
+	// Runner executes scenarios; NewPBFTRunner returns the PBFT one.
+	Runner = core.Runner
+	// RunnerFunc adapts a function to Runner.
+	RunnerFunc = core.RunnerFunc
+	// Plugin mediates between the controller and one testing tool.
+	Plugin = core.Plugin
+	// Explorer proposes scenarios and learns from results.
+	Explorer = core.Explorer
+	// Controller is the AVD test controller (Algorithm 1).
+	Controller = core.Controller
+	// ControllerConfig tunes the controller.
+	ControllerConfig = core.ControllerConfig
+	// Genetic is the genetic-algorithm explorer, the alternative
+	// metaheuristic the paper cites (§3, Inkumsah & Xie).
+	Genetic = core.Genetic
+	// GeneticConfig tunes the genetic explorer.
+	GeneticConfig = core.GeneticConfig
+	// Scenario is one point of the test-parameter hyperspace.
+	Scenario = scenario.Scenario
+	// Space is a composed hyperspace.
+	Space = scenario.Space
+	// Dimension is one axis of the hyperspace.
+	Dimension = scenario.Dimension
+	// Workload fixes the non-dimension parameters of PBFT tests.
+	Workload = cluster.Workload
+	// PBFTRunner executes scenarios as simulated PBFT deployments.
+	PBFTRunner = cluster.Runner
+	// Report is the detailed outcome of one PBFT test.
+	Report = cluster.Report
+)
+
+// NewController builds the AVD controller over the plugins' composed
+// hyperspace.
+func NewController(cfg ControllerConfig, plugins ...Plugin) (*Controller, error) {
+	return core.NewController(cfg, plugins...)
+}
+
+// NewRandomExplorer returns the uniform-random baseline explorer.
+func NewRandomExplorer(space *Space, seed int64) Explorer {
+	return core.NewRandomExplorer(space, seed)
+}
+
+// NewGenetic builds the genetic-algorithm explorer over the plugins'
+// composed hyperspace.
+func NewGenetic(cfg GeneticConfig, plugins ...Plugin) (*Genetic, error) {
+	return core.NewGenetic(cfg, plugins...)
+}
+
+// NewExhaustiveExplorer returns an explorer enumerating the whole space.
+func NewExhaustiveExplorer(space *Space) Explorer {
+	return core.NewExhaustiveExplorer(space)
+}
+
+// NewSpace composes dimensions into a hyperspace.
+func NewSpace(dims ...Dimension) (*Space, error) { return scenario.NewSpace(dims...) }
+
+// SpaceOf composes the hyperspace owned by a plugin set.
+func SpaceOf(plugins ...Plugin) (*Space, error) { return core.Space(plugins...) }
+
+// Campaign drives an explorer against a runner for a test budget and
+// returns the executed results in order.
+func Campaign(ex Explorer, runner Runner, budget int) []Result {
+	return core.Campaign(ex, runner, budget)
+}
+
+// Sweep executes independent scenarios in parallel across workers.
+func Sweep(scenarios []Scenario, runner Runner, workers int) []Result {
+	return core.Sweep(scenarios, runner, workers)
+}
+
+// BestSoFar maps results to their running best by impact.
+func BestSoFar(results []Result) []Result { return core.BestSoFar(results) }
+
+// TestsToImpact returns the first 1-based iteration reaching the impact
+// threshold, or 0 — the paper's attacker-power proxy (§4).
+func TestsToImpact(results []Result, threshold float64) int {
+	return core.TestsToImpact(results, threshold)
+}
+
+// DefaultWorkload returns the paper's PBFT evaluation workload (4
+// replicas, LAN latencies, compressed timers; see EXPERIMENTS.md).
+func DefaultWorkload() Workload { return cluster.DefaultWorkload() }
+
+// NewPBFTRunner builds the deployment harness executing scenarios as
+// simulated PBFT clusters.
+func NewPBFTRunner(w Workload) (*PBFTRunner, error) { return cluster.NewRunner(w) }
+
+// NewMACCorruptPlugin returns the paper's 12-bit Gray-coded
+// MAC-corruption plugin.
+func NewMACCorruptPlugin() Plugin { return plugin.NewMACCorrupt() }
+
+// NewClientsPlugin returns the deployment-shape plugin (10..250 correct
+// clients, 1..2 malicious).
+func NewClientsPlugin() Plugin { return plugin.NewClients() }
+
+// NewReorderPlugin returns the message-reordering tool plugin (§5).
+func NewReorderPlugin() Plugin { return &plugin.Reorder{} }
+
+// NewFaultPlanPlugin returns the library-level fault-injection plugin
+// (§5, LFI-style call-number faults).
+func NewFaultPlanPlugin() Plugin { return plugin.NewFaultPlan() }
+
+// NewSlowPrimaryPlugin returns the Byzantine slow-primary plugin (§6).
+func NewSlowPrimaryPlugin() Plugin { return &plugin.SlowPrimary{} }
+
+// Dimension name constants, re-exported for scenario construction.
+const (
+	DimMACMask          = plugin.DimMACMask
+	DimCorrectClients   = plugin.DimCorrectClients
+	DimMaliciousClients = plugin.DimMaliciousClients
+	DimReorderPct       = plugin.DimReorderPct
+	DimReorderDelayMS   = plugin.DimReorderDelayMS
+	DimDropCall         = plugin.DimDropCall
+	DimDropLen          = plugin.DimDropLen
+	DimSlowPrimary      = plugin.DimSlowPrimary
+	DimCollude          = plugin.DimCollude
+	DimSlowIntervalMS   = plugin.DimSlowIntervalMS
+)

@@ -1,0 +1,120 @@
+package avd_test
+
+import (
+	"testing"
+	"time"
+
+	"avd"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: build a runner, compose plugins, run a short campaign, inspect
+// results.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w := avd.DefaultWorkload()
+	w.Measure = 500 * time.Millisecond
+	runner, err := avd.NewPBFTRunner(w)
+	if err != nil {
+		t.Fatalf("NewPBFTRunner: %v", err)
+	}
+	ctrl, err := avd.NewController(avd.ControllerConfig{Seed: 1, SeedTests: 4},
+		avd.NewMACCorruptPlugin(), avd.NewClientsPlugin())
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	results := avd.Campaign(ctrl, runner, 8)
+	if len(results) != 8 {
+		t.Fatalf("campaign ran %d tests, want 8", len(results))
+	}
+	for _, r := range results {
+		if !r.Scenario.Valid() {
+			t.Fatal("result with invalid scenario")
+		}
+		if r.BaselineThroughput <= 0 {
+			t.Fatal("result without baseline")
+		}
+	}
+	best := avd.BestSoFar(results)
+	if len(best) != len(results) {
+		t.Fatal("BestSoFar length mismatch")
+	}
+}
+
+// TestPublicAPISpaceSize checks that the composed paper hyperspace is
+// exposed correctly through the facade.
+func TestPublicAPISpaceSize(t *testing.T) {
+	space, err := avd.SpaceOf(avd.NewMACCorruptPlugin(), avd.NewClientsPlugin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Size() != 204800 {
+		t.Errorf("space size = %d, want 204800", space.Size())
+	}
+}
+
+// TestPublicAPIExplorers checks the baseline explorers through the
+// facade.
+func TestPublicAPIExplorers(t *testing.T) {
+	space, err := avd.NewSpace(avd.Dimension{Name: "x", Min: 0, Max: 9, Step: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := avd.RunnerFunc(func(sc avd.Scenario) avd.Result {
+		return avd.Result{Scenario: sc, Impact: float64(sc.GetOr("x", 0)) / 9}
+	})
+	random := avd.Campaign(avd.NewRandomExplorer(space, 1), runner, 5)
+	if len(random) != 5 {
+		t.Errorf("random campaign ran %d tests", len(random))
+	}
+	exhaustive := avd.Campaign(avd.NewExhaustiveExplorer(space), runner, 100)
+	if len(exhaustive) != 10 {
+		t.Errorf("exhaustive campaign ran %d tests, want all 10", len(exhaustive))
+	}
+	if n := avd.TestsToImpact(exhaustive, 1.0); n != 10 {
+		t.Errorf("TestsToImpact = %d, want 10", n)
+	}
+}
+
+// TestPublicAPIGenetic exercises the genetic explorer via the facade.
+func TestPublicAPIGenetic(t *testing.T) {
+	ga, err := avd.NewGenetic(avd.GeneticConfig{Seed: 1, Population: 6},
+		avd.NewMACCorruptPlugin(), avd.NewClientsPlugin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := avd.RunnerFunc(func(sc avd.Scenario) avd.Result {
+		return avd.Result{Scenario: sc, Impact: float64(sc.GetOr(avd.DimMACMask, 0)) / 4095}
+	})
+	results := avd.Campaign(ga, runner, 30)
+	if len(results) != 30 {
+		t.Fatalf("GA campaign ran %d tests, want 30", len(results))
+	}
+	best := avd.BestSoFar(results)[len(results)-1]
+	if best.Impact <= 0 {
+		t.Error("GA made no progress on a trivial objective")
+	}
+}
+
+// TestPublicAPISweep checks parallel sweeps through the facade.
+func TestPublicAPISweep(t *testing.T) {
+	space, err := avd.NewSpace(avd.Dimension{Name: "x", Min: 0, Max: 31, Step: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scs []avd.Scenario
+	for i := int64(0); i < 32; i++ {
+		scs = append(scs, space.New(map[string]int64{"x": i}))
+	}
+	runner := avd.RunnerFunc(func(sc avd.Scenario) avd.Result {
+		return avd.Result{Scenario: sc, Impact: 0.5}
+	})
+	results := avd.Sweep(scs, runner, 8)
+	if len(results) != 32 {
+		t.Fatalf("sweep returned %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Scenario.Key() != scs[i].Key() {
+			t.Fatal("sweep order broken")
+		}
+	}
+}

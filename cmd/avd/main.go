@@ -1,0 +1,145 @@
+// Command avd runs vulnerability-discovery campaigns against the
+// simulated PBFT deployment: the paper's fitness-guided controller
+// (Algorithm 1), the random baseline, or an exhaustive sweep, over any
+// combination of the available testing-tool plugins.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"avd/internal/cluster"
+	"avd/internal/core"
+	"avd/internal/plugin"
+	"avd/internal/trace"
+)
+
+func main() {
+	var (
+		strategy  = flag.String("strategy", "avd", "exploration strategy: avd | random | genetic")
+		tests     = flag.Int("tests", 125, "test budget")
+		seed      = flag.Int64("seed", 1, "random seed")
+		measure   = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
+		pluginsCS = flag.String("plugins", "maccorrupt,clients", "comma-separated plugins: maccorrupt,clients,reorder,faultplan,slowprimary")
+		csvPath   = flag.String("csv", "", "write per-test results to this CSV file")
+		topN      = flag.Int("top", 5, "print the N best attacks found")
+		quiet     = flag.Bool("quiet", false, "suppress per-test progress output")
+	)
+	flag.Parse()
+
+	plugins, err := parsePlugins(*pluginsCS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd:", err)
+		os.Exit(1)
+	}
+	w := cluster.DefaultWorkload()
+	w.Measure = *measure
+	runner, err := cluster.NewRunner(w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd:", err)
+		os.Exit(1)
+	}
+	space, err := core.Space(plugins...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd:", err)
+		os.Exit(1)
+	}
+
+	var explorer core.Explorer
+	switch *strategy {
+	case "avd":
+		explorer, err = core.NewController(core.ControllerConfig{Seed: *seed, SeedTests: 10}, plugins...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avd:", err)
+			os.Exit(1)
+		}
+	case "random":
+		explorer = core.NewRandomExplorer(space, *seed)
+	case "genetic":
+		explorer, err = core.NewGenetic(core.GeneticConfig{Seed: *seed}, plugins...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avd:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "avd: unknown strategy %q (want avd, random or genetic)\n", *strategy)
+		os.Exit(1)
+	}
+
+	fmt.Printf("strategy=%s plugins=%s hyperspace=%d scenarios budget=%d\n",
+		*strategy, *pluginsCS, space.Size(), *tests)
+	start := time.Now()
+	var obs core.CampaignObserver
+	if !*quiet {
+		obs = func(i int, res core.Result) {
+			fmt.Printf("%4d impact=%.3f tput=%8.0f lat=%-10v %s (%s)\n",
+				i, res.Impact, res.Throughput, res.AvgLatency.Round(time.Millisecond),
+				res.Scenario.Key(), res.Generator)
+		}
+	}
+	results := core.CampaignWithObserver(explorer, runner, *tests, obs)
+	fmt.Printf("\n%d tests in %v (wall)\n\n", len(results), time.Since(start).Round(time.Second))
+	trace.SummarizeCampaign(os.Stdout, *strategy, results)
+
+	best := append([]core.Result(nil), results...)
+	for i := 0; i < len(best); i++ {
+		for j := i + 1; j < len(best); j++ {
+			if best[j].Impact > best[i].Impact {
+				best[i], best[j] = best[j], best[i]
+			}
+		}
+	}
+	n := *topN
+	if n > len(best) {
+		n = len(best)
+	}
+	fmt.Printf("\ntop %d attacks:\n", n)
+	for i := 0; i < n; i++ {
+		r := best[i]
+		fmt.Printf("  %d. impact=%.3f tput=%.0f req/s lat=%v crash=%d  %s\n",
+			i+1, r.Impact, r.Throughput, r.AvgLatency.Round(time.Millisecond),
+			r.CrashedReplicas, r.Scenario.Key())
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avd:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WriteCampaignCSV(f, *strategy, results); err != nil {
+			fmt.Fprintln(os.Stderr, "avd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+func parsePlugins(cs string) ([]core.Plugin, error) {
+	var out []core.Plugin
+	for _, name := range strings.Split(cs, ",") {
+		switch strings.TrimSpace(name) {
+		case "maccorrupt":
+			out = append(out, plugin.NewMACCorrupt())
+		case "clients":
+			out = append(out, plugin.NewClients())
+		case "reorder":
+			out = append(out, &plugin.Reorder{})
+		case "faultplan":
+			out = append(out, plugin.NewFaultPlan())
+		case "slowprimary":
+			out = append(out, &plugin.SlowPrimary{})
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown plugin %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no plugins selected")
+	}
+	return out, nil
+}

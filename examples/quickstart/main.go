@@ -1,0 +1,53 @@
+// Quickstart: run a small AVD campaign against a simulated PBFT
+// deployment and print the most damaging attack found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"avd"
+)
+
+func main() {
+	// The workload fixes everything that is not a search dimension:
+	// 4 PBFT replicas (f=1), sub-millisecond network, closed-loop
+	// clients, a warmup plus a measurement window per test.
+	workload := avd.DefaultWorkload()
+	workload.Measure = time.Second // keep the demo snappy
+
+	runner, err := avd.NewPBFTRunner(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The search space is owned by the testing-tool plugins, exactly as
+	// in the paper's PBFT experiment: a 12-bit Gray-coded MAC-corruption
+	// mask, the number of correct clients (10..250) and the number of
+	// malicious clients (1..2) — 204,800 scenarios in total.
+	ctrl, err := avd.NewController(avd.ControllerConfig{Seed: 42},
+		avd.NewMACCorruptPlugin(), avd.NewClientsPlugin())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("exploring the PBFT attack hyperspace with 50 tests...")
+	results := avd.Campaign(ctrl, runner, 50)
+
+	best := avd.BestSoFar(results)[len(results)-1]
+	fmt.Printf("\nbest attack found:\n")
+	fmt.Printf("  scenario:   %s\n", best.Scenario)
+	fmt.Printf("  impact:     %.3f\n", best.Impact)
+	fmt.Printf("  throughput: %.0f req/s (baseline %.0f req/s)\n",
+		best.Throughput, best.BaselineThroughput)
+	fmt.Printf("  latency:    %v (avg, correct clients)\n", best.AvgLatency.Round(time.Millisecond))
+	fmt.Printf("  crashed:    %d replicas\n", best.CrashedReplicas)
+
+	if n := avd.TestsToImpact(results, 0.9); n > 0 {
+		fmt.Printf("\nfirst high-impact attack appeared at test %d of %d —\n", n, len(results))
+		fmt.Println("the paper's rule of thumb for how much power an attacker needs (§4).")
+	}
+}

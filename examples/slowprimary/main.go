@@ -1,0 +1,59 @@
+// Slow primary: let AVD *discover* the slow-primary attack of §6 on its
+// own. The search space includes the Byzantine-primary plugin's
+// dimensions (pacing interval, collusion switch); the controller learns
+// that slow pacing plus collusion starves the correct clients.
+//
+//	go run ./examples/slowprimary
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"avd"
+)
+
+func main() {
+	workload := avd.DefaultWorkload()
+	workload.Measure = 2 * time.Second
+	runner, err := avd.NewPBFTRunner(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three tools this time: MAC corruption, deployment shape, and the
+	// Byzantine slow-primary behavior.
+	ctrl, err := avd.NewController(avd.ControllerConfig{Seed: 7},
+		avd.NewMACCorruptPlugin(), avd.NewClientsPlugin(), avd.NewSlowPrimaryPlugin())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("searching for replica-side attacks (60 tests)...")
+	results := avd.Campaign(ctrl, runner, 60)
+
+	// Report the best slow-primary attack the campaign found.
+	var bestSlow avd.Result
+	for _, r := range results {
+		if r.Scenario.GetOr(avd.DimSlowPrimary, 0) == 1 && r.Impact > bestSlow.Impact {
+			bestSlow = r
+		}
+	}
+	best := avd.BestSoFar(results)[len(results)-1]
+	fmt.Printf("\nbest attack overall:        impact %.3f  %s\n", best.Impact, best.Scenario)
+	if bestSlow.Scenario.Valid() {
+		fmt.Printf("best slow-primary attack:   impact %.3f  %s\n", bestSlow.Impact, bestSlow.Scenario)
+		fmt.Printf("  throughput %.0f req/s vs %.0f baseline; collusion=%d, pacing %dms\n",
+			bestSlow.Throughput, bestSlow.BaselineThroughput,
+			bestSlow.Scenario.GetOr(avd.DimCollude, 0),
+			bestSlow.Scenario.GetOr(avd.DimSlowIntervalMS, 0))
+	} else {
+		fmt.Println("no slow-primary scenario was explored; try another seed")
+	}
+
+	fmt.Println("\nWhy it works (§6): the implementation keeps ONE view-change timer per")
+	fmt.Println("replica instead of one per request; executing any pending request resets")
+	fmt.Println("it, so a primary pacing one request per period is never suspected.")
+	fmt.Println("Run cmd/slowprimary for the exact 0.2 req/s reproduction with 5s timers.")
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"avd/internal/scenario"
+)
+
+// Campaign drives an explorer against a runner for a test budget,
+// mirroring the paper's worker loop: dequeue a scenario from Ψ,
+// instantiate it, execute the test, compute the impact, feed it back.
+// It returns the executed results in order.
+func Campaign(ex Explorer, runner Runner, budget int) []Result {
+	results := make([]Result, 0, budget)
+	for len(results) < budget {
+		sc, generator, ok := ex.Next()
+		if !ok {
+			break
+		}
+		res := runner.Run(sc)
+		res.Generator = generator
+		ex.Record(res)
+		results = append(results, res)
+	}
+	return results
+}
+
+// CampaignObserver is called after each executed test with the 1-based
+// iteration and its result.
+type CampaignObserver func(iteration int, res Result)
+
+// CampaignWithObserver is Campaign with a per-test callback (progress
+// reporting in the CLIs).
+func CampaignWithObserver(ex Explorer, runner Runner, budget int, obs CampaignObserver) []Result {
+	results := make([]Result, 0, budget)
+	for len(results) < budget {
+		sc, generator, ok := ex.Next()
+		if !ok {
+			break
+		}
+		res := runner.Run(sc)
+		res.Generator = generator
+		ex.Record(res)
+		results = append(results, res)
+		if obs != nil {
+			obs(len(results), res)
+		}
+	}
+	return results
+}
+
+// Sweep executes every scenario of a feedback-free workload in parallel
+// across workers goroutines (tests are independent; the paper
+// re-initializes the system per test). Results are returned in input
+// order. A workers value <= 0 uses all CPUs.
+func Sweep(scenarios []scenario.Scenario, runner Runner, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	results := make([]Result, len(scenarios))
+	if workers <= 1 {
+		for i, sc := range scenarios {
+			results[i] = runner.Run(sc)
+			results[i].Generator = "exhaustive"
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runner.Run(scenarios[i])
+				results[i].Generator = "exhaustive"
+			}
+		}()
+	}
+	for i := range scenarios {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// BestSoFar maps a result sequence to its running maximum impact — the
+// "evolution of the performance impact" curves of Figure 2.
+func BestSoFar(results []Result) []Result {
+	out := make([]Result, len(results))
+	var best Result
+	for i, r := range results {
+		if i == 0 || r.Impact > best.Impact {
+			best = r
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// TestsToImpact returns the 1-based iteration at which the running best
+// impact first reached the threshold, or 0 if it never did — the paper's
+// "number of tests necessary for AVD to find a vulnerability" metric
+// (§4).
+func TestsToImpact(results []Result, threshold float64) int {
+	for i, r := range results {
+		if r.Impact >= threshold {
+			return i + 1
+		}
+	}
+	return 0
+}

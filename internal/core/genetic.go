@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"avd/internal/scenario"
+)
+
+// GeneticConfig tunes the genetic-algorithm explorer.
+type GeneticConfig struct {
+	// Population is the generation size (default 16).
+	Population int
+	// Elite is how many of the best individuals survive unchanged into
+	// the next generation (default 2).
+	Elite int
+	// CrossoverRate is the probability that a child is bred from two
+	// parents (otherwise it is a mutated clone of one); default 0.7.
+	CrossoverRate float64
+	// TournamentSize controls selection pressure (default 3).
+	TournamentSize int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *GeneticConfig) applyDefaults() {
+	if c.Population <= 0 {
+		c.Population = 16
+	}
+	if c.Elite <= 0 {
+		c.Elite = 2
+	}
+	if c.Elite >= c.Population {
+		c.Elite = c.Population - 1
+	}
+	if c.CrossoverRate <= 0 {
+		c.CrossoverRate = 0.7
+	}
+	if c.TournamentSize <= 0 {
+		c.TournamentSize = 3
+	}
+}
+
+// Genetic is a generational genetic-algorithm explorer over a plugin
+// hyperspace — the alternative metaheuristic the paper points at via
+// Inkumsah & Xie (§3: "Genetic Algorithms (another meta-heuristic
+// exploration algorithm)"). Individuals are scenarios; fitness is the
+// measured impact; crossover mixes dimensions from two parents; mutation
+// delegates to the owning plugin with a small mutate distance.
+//
+// It implements Explorer, so it is a drop-in replacement for the
+// hill-climbing Controller in campaigns and benchmarks.
+type Genetic struct {
+	cfg     GeneticConfig
+	space   *scenario.Space
+	plugins []Plugin
+	dims    []scenario.Dimension
+	byDim   map[string]Plugin
+	rng     *rand.Rand
+
+	population []Result // evaluated individuals of the current generation
+	pendingGen []scenario.Scenario
+	seen       map[string]bool
+	generation int
+}
+
+// NewGenetic builds a GA explorer over the plugins' composed space.
+func NewGenetic(cfg GeneticConfig, plugins ...Plugin) (*Genetic, error) {
+	cfg.applyDefaults()
+	if len(plugins) == 0 {
+		return nil, fmt.Errorf("core: genetic explorer needs at least one plugin")
+	}
+	space, err := Space(plugins...)
+	if err != nil {
+		return nil, err
+	}
+	g := &Genetic{
+		cfg:     cfg,
+		space:   space,
+		plugins: plugins,
+		dims:    space.Dimensions(),
+		byDim:   make(map[string]Plugin),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		seen:    make(map[string]bool),
+	}
+	for _, p := range plugins {
+		for _, d := range p.Dimensions() {
+			g.byDim[d.Name] = p
+		}
+	}
+	// Generation zero: random individuals.
+	for i := 0; i < cfg.Population; i++ {
+		g.enqueueUnseen(func() scenario.Scenario { return g.space.Random(g.rng) })
+	}
+	return g, nil
+}
+
+var _ Explorer = (*Genetic)(nil)
+
+// Generation returns the current generation number (0-based).
+func (g *Genetic) Generation() int { return g.generation }
+
+// Next implements Explorer.
+func (g *Genetic) Next() (scenario.Scenario, string, bool) {
+	if len(g.pendingGen) == 0 {
+		g.breed()
+	}
+	if len(g.pendingGen) == 0 {
+		return scenario.Scenario{}, "", false
+	}
+	sc := g.pendingGen[0]
+	g.pendingGen = g.pendingGen[1:]
+	return sc, fmt.Sprintf("ga:gen%d", g.generation), true
+}
+
+// Record implements Explorer.
+func (g *Genetic) Record(res Result) {
+	g.population = append(g.population, res)
+}
+
+// breed produces the next generation from the evaluated population.
+func (g *Genetic) breed() {
+	if len(g.population) == 0 {
+		return
+	}
+	sort.SliceStable(g.population, func(i, j int) bool {
+		return g.population[i].Impact > g.population[j].Impact
+	})
+	if len(g.population) > g.cfg.Population {
+		g.population = g.population[:g.cfg.Population]
+	}
+	g.generation++
+	// Elites survive: they are not re-executed (their fitness is known),
+	// so the new generation only spends budget on fresh individuals.
+	budget := g.cfg.Population - g.cfg.Elite
+	for i := 0; i < budget; i++ {
+		g.enqueueUnseen(func() scenario.Scenario {
+			if g.rng.Float64() < g.cfg.CrossoverRate && len(g.population) > 1 {
+				a, b := g.tournament(), g.tournament()
+				return g.crossover(a.Scenario, b.Scenario)
+			}
+			parent := g.tournament()
+			return g.mutate(parent.Scenario)
+		})
+	}
+	// Trim the carried population to the elites so selection pressure
+	// renews each generation.
+	if len(g.population) > g.cfg.Elite {
+		g.population = g.population[:g.cfg.Elite]
+	}
+}
+
+// tournament selects the fittest of TournamentSize random individuals.
+func (g *Genetic) tournament() Result {
+	best := g.population[g.rng.Intn(len(g.population))]
+	for i := 1; i < g.cfg.TournamentSize; i++ {
+		cand := g.population[g.rng.Intn(len(g.population))]
+		if cand.Impact > best.Impact {
+			best = cand
+		}
+	}
+	return best
+}
+
+// crossover mixes two parents dimension-wise (uniform crossover).
+func (g *Genetic) crossover(a, b scenario.Scenario) scenario.Scenario {
+	child := a
+	for _, d := range g.dims {
+		if g.rng.Intn(2) == 0 {
+			if v, ok := b.Get(d.Name); ok {
+				child = child.With(d.Name, v)
+			}
+		}
+	}
+	// A light mutation keeps crossover from collapsing into clones.
+	if g.rng.Float64() < 0.3 {
+		child = g.mutate(child)
+	}
+	return child
+}
+
+// mutate applies a plugin mutation with a small distance.
+func (g *Genetic) mutate(sc scenario.Scenario) scenario.Scenario {
+	p := g.plugins[g.rng.Intn(len(g.plugins))]
+	return p.Mutate(sc, 0.2+0.3*g.rng.Float64(), g.rng)
+}
+
+// enqueueUnseen adds gen()'s first unseen product (bounded retries,
+// falling back to a random scenario, then giving up silently — the
+// explorer simply produces a shorter generation).
+func (g *Genetic) enqueueUnseen(gen func() scenario.Scenario) {
+	for attempt := 0; attempt < 16; attempt++ {
+		sc := gen()
+		if !sc.Valid() {
+			return
+		}
+		key := sc.Key()
+		if g.seen[key] {
+			continue
+		}
+		g.seen[key] = true
+		g.pendingGen = append(g.pendingGen, sc)
+		return
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		sc := g.space.Random(g.rng)
+		key := sc.Key()
+		if g.seen[key] {
+			continue
+		}
+		g.seen[key] = true
+		g.pendingGen = append(g.pendingGen, sc)
+		return
+	}
+}

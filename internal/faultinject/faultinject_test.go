@@ -1,0 +1,181 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEmptyPlanNeverInjects(t *testing.T) {
+	in := NewInjector(Plan{})
+	for i := 0; i < 100; i++ {
+		if d := in.Check("any.point"); d.Action != ActNone {
+			t.Fatalf("empty plan injected %v at call %d", d.Action, i)
+		}
+	}
+	if got := in.Calls("any.point"); got != 100 {
+		t.Errorf("Calls = %d, want 100", got)
+	}
+}
+
+func TestCallNumbering(t *testing.T) {
+	in := NewInjector(NewPlan(Rule{
+		Point:    "p",
+		Trigger:  CallSet{3: true, 5: true},
+		Decision: Decision{Action: ActDrop},
+	}))
+	var hits []uint64
+	for i := 0; i < 8; i++ {
+		d, call := in.CheckN("p")
+		if uint64(i) != call {
+			t.Fatalf("call number = %d at iteration %d", call, i)
+		}
+		if d.Action == ActDrop {
+			hits = append(hits, call)
+		}
+	}
+	if len(hits) != 2 || hits[0] != 3 || hits[1] != 5 {
+		t.Errorf("drop fired at calls %v, want [3 5]", hits)
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	in := NewInjector(NewPlan(Rule{Point: "a", Trigger: CallSet{0: true}, Decision: Decision{Action: ActCorrupt}}))
+	if d := in.Check("b"); d.Action != ActNone {
+		t.Error("rule on point a fired on point b")
+	}
+	if d := in.Check("a"); d.Action != ActCorrupt {
+		t.Error("rule on point a did not fire on call 0")
+	}
+	if in.Calls("a") != 1 || in.Calls("b") != 1 {
+		t.Errorf("counters mixed across points: a=%d b=%d", in.Calls("a"), in.Calls("b"))
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	in := NewInjector(NewPlan(
+		Rule{Point: "p", Trigger: Always{}, Decision: Decision{Action: ActCorrupt}},
+		Rule{Point: "p", Trigger: Always{}, Decision: Decision{Action: ActDrop}},
+	))
+	if d := in.Check("p"); d.Action != ActCorrupt {
+		t.Errorf("got %v, want the first rule's corrupt", d.Action)
+	}
+}
+
+func TestModMaskTrigger(t *testing.T) {
+	// Bit (call mod 12) of mask decides, exactly as the paper's experiment.
+	mask := uint64(0b000000000101) // bits 0 and 2
+	trig := ModMask{Mask: mask, Period: 12}
+	for call := uint64(0); call < 48; call++ {
+		want := call%12 == 0 || call%12 == 2
+		if got := trig.Match(call); got != want {
+			t.Fatalf("ModMask.Match(%d) = %v, want %v", call, got, want)
+		}
+	}
+}
+
+func TestModMaskAllBitsHitsEveryCall(t *testing.T) {
+	trig := ModMask{Mask: 0xFFF, Period: 12}
+	for call := uint64(0); call < 100; call++ {
+		if !trig.Match(call) {
+			t.Fatalf("full mask missed call %d", call)
+		}
+	}
+}
+
+func TestModMaskZeroPeriod(t *testing.T) {
+	trig := ModMask{Mask: 0xFFF, Period: 0}
+	if trig.Match(0) {
+		t.Error("zero-period ModMask must never match")
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	trig := EveryNth{N: 3, Offset: 1}
+	var hits []uint64
+	for call := uint64(0); call < 10; call++ {
+		if trig.Match(call) {
+			hits = append(hits, call)
+		}
+	}
+	want := []uint64{1, 4, 7}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+	if (EveryNth{N: 0}).Match(5) {
+		t.Error("EveryNth with N=0 must never match")
+	}
+}
+
+func TestAfter(t *testing.T) {
+	trig := After{N: 5}
+	if trig.Match(4) {
+		t.Error("After(5) matched call 4")
+	}
+	if !trig.Match(5) {
+		t.Error("After(5) did not match call 5")
+	}
+}
+
+func TestAlwaysNever(t *testing.T) {
+	if !(Always{}).Match(12345) {
+		t.Error("Always did not match")
+	}
+	if (Never{}).Match(0) {
+		t.Error("Never matched")
+	}
+}
+
+func TestDecisionFields(t *testing.T) {
+	in := NewInjector(NewPlan(Rule{
+		Point:    "p",
+		Trigger:  Always{},
+		Decision: Decision{Action: ActDelay, Delay: 42 * time.Millisecond},
+	}))
+	d := in.Check("p")
+	if d.Action != ActDelay || d.Delay != 42*time.Millisecond {
+		t.Errorf("decision = %+v", d)
+	}
+}
+
+func TestPlanIsImmutableCopy(t *testing.T) {
+	rules := []Rule{{Point: "p", Trigger: Always{}, Decision: Decision{Action: ActDrop}}}
+	p := NewPlan(rules...)
+	rules[0].Point = "mutated"
+	got := p.Rules()
+	if got[0].Point != "p" {
+		t.Error("NewPlan did not copy its rule slice")
+	}
+	got[0].Point = "mutated-again"
+	if p.Rules()[0].Point != "p" {
+		t.Error("Rules() did not return a copy")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{
+		ActNone: "none", ActCorrupt: "corrupt", ActDrop: "drop",
+		ActDelay: "delay", ActError: "error", Action(99): "action(99)",
+	} {
+		if a.String() != want {
+			t.Errorf("Action(%d).String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestTriggerStrings(t *testing.T) {
+	if s := (CallSet{2: true, 1: true}).String(); s != "calls{1,2}" {
+		t.Errorf("CallSet.String() = %q", s)
+	}
+	if s := (ModMask{Mask: 0xABC, Period: 12}).String(); s != "modmask(0xabc mod 12)" {
+		t.Errorf("ModMask.String() = %q", s)
+	}
+	plan := NewPlan(Rule{Point: "p", Trigger: Always{}, Decision: Decision{Action: ActDrop}})
+	if plan.String() == "" || NewPlan().String() != "plan{}" {
+		t.Error("plan String() formatting broken")
+	}
+}

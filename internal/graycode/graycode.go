@@ -1,0 +1,41 @@
+// Package graycode implements reflected binary Gray code utilities.
+//
+// The paper encodes the 12-bit MAC-corruption bitmask dimension in Gray
+// code so that a unit step along the hyperspace coordinate changes exactly
+// one bit of the effective mask ("in Gray code, consecutive numbers always
+// differ in only one binary position", §6). The exploration coordinate is a
+// plain integer; Encode maps it to the injector's bitmask.
+package graycode
+
+// Encode returns the Gray code of n: consecutive values of n yield codes
+// that differ in exactly one bit.
+func Encode(n uint64) uint64 { return n ^ (n >> 1) }
+
+// Decode inverts Encode.
+func Decode(g uint64) uint64 {
+	n := g
+	for shift := uint(1); shift < 64; shift <<= 1 {
+		n ^= n >> shift
+	}
+	return n
+}
+
+// Step moves delta steps from coordinate n in a space of the given bit
+// width, wrapping around at the edges. bits must be in [1, 63].
+func Step(n uint64, bits uint, delta int64) uint64 {
+	size := uint64(1) << bits
+	d := delta % int64(size)
+	v := (int64(n%size) + d + int64(size)) % int64(size)
+	return uint64(v)
+}
+
+// HammingDistance returns the number of differing bits between a and b.
+func HammingDistance(a, b uint64) int {
+	x := a ^ b
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}

@@ -1,0 +1,99 @@
+package graycode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeKnownValues(t *testing.T) {
+	// First eight values of the canonical reflected binary Gray code.
+	want := []uint64{0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100}
+	for n, w := range want {
+		if g := Encode(uint64(n)); g != w {
+			t.Errorf("Encode(%d) = %#b, want %#b", n, g, w)
+		}
+	}
+}
+
+func TestDecodeInvertsEncode(t *testing.T) {
+	if err := quick.Check(func(n uint64) bool {
+		return Decode(Encode(n)) == n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjacentCodesDifferInOneBit(t *testing.T) {
+	// The property the paper relies on: a unit step of the hyperspace
+	// coordinate flips exactly one bit of the effective mask.
+	for n := uint64(0); n < 4096; n++ {
+		if d := HammingDistance(Encode(n), Encode(n+1)); d != 1 {
+			t.Fatalf("HammingDistance(Encode(%d), Encode(%d)) = %d, want 1", n, n+1, d)
+		}
+	}
+}
+
+func TestEncodeIsBijectiveIn12Bits(t *testing.T) {
+	seen := make(map[uint64]uint64, 4096)
+	for n := uint64(0); n < 4096; n++ {
+		g := Encode(n)
+		if g >= 4096 {
+			t.Fatalf("Encode(%d) = %d escapes 12-bit range", n, g)
+		}
+		if prev, dup := seen[g]; dup {
+			t.Fatalf("Encode collision: Encode(%d) == Encode(%d)", n, prev)
+		}
+		seen[g] = n
+	}
+}
+
+func TestStepWraps(t *testing.T) {
+	tests := []struct {
+		n     uint64
+		bits  uint
+		delta int64
+		want  uint64
+	}{
+		{0, 12, 1, 1},
+		{0, 12, -1, 4095},
+		{4095, 12, 1, 0},
+		{100, 12, 0, 100},
+		{0, 12, 4096, 0},  // full wrap
+		{0, 12, -8192, 0}, // double negative wrap
+		{7, 3, 1, 0},      // small space
+		{5, 4, 100, (5 + 100) % 16},
+	}
+	for _, tt := range tests {
+		if got := Step(tt.n, tt.bits, tt.delta); got != tt.want {
+			t.Errorf("Step(%d, %d, %d) = %d, want %d", tt.n, tt.bits, tt.delta, got, tt.want)
+		}
+	}
+}
+
+func TestStepProperty(t *testing.T) {
+	// Stepping by +d then -d returns to the origin.
+	if err := quick.Check(func(n uint16, d int16) bool {
+		start := uint64(n) % 4096
+		mid := Step(start, 12, int64(d))
+		return Step(mid, 12, -int64(d)) == start
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	tests := []struct {
+		a, b uint64
+		want int
+	}{
+		{0, 0, 0},
+		{0b1010, 0b0101, 4},
+		{0xFFF, 0, 12},
+		{1, 0, 1},
+	}
+	for _, tt := range tests {
+		if got := HammingDistance(tt.a, tt.b); got != tt.want {
+			t.Errorf("HammingDistance(%#x, %#x) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}

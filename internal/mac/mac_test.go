@@ -1,0 +1,115 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSumVerifyRoundTrip(t *testing.T) {
+	if err := quick.Check(func(key, digest uint64) bool {
+		return Verify(Key(key), digest, Sum(Key(key), digest))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptNeverVerifies(t *testing.T) {
+	if err := quick.Check(func(key, digest uint64) bool {
+		return !Verify(Key(key), digest, Corrupt(Sum(Key(key), digest)))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	tag := Sum(Key(1), 42)
+	if Verify(Key(2), 42, tag) {
+		t.Error("tag verified under the wrong key")
+	}
+}
+
+func TestWrongDigestFails(t *testing.T) {
+	tag := Sum(Key(1), 42)
+	if Verify(Key(1), 43, tag) {
+		t.Error("tag verified for the wrong digest")
+	}
+}
+
+func TestAuthenticatorPerReceiverEntries(t *testing.T) {
+	keys := []Key{10, 20, 30, 40}
+	a := NewAuthenticator(keys, 7)
+	if len(a) != 4 {
+		t.Fatalf("len(authenticator) = %d, want 4", len(a))
+	}
+	for i, k := range keys {
+		if !a.VerifyEntry(i, k, 7) {
+			t.Errorf("entry %d did not verify under its own key", i)
+		}
+	}
+	// The Big MAC asymmetry: each entry verifies only for its receiver.
+	if a.VerifyEntry(0, keys[1], 7) {
+		t.Error("entry 0 verified under replica 1's key")
+	}
+}
+
+func TestAuthenticatorPartialCorruption(t *testing.T) {
+	// Corrupting a subset of entries leaves the others valid — the exact
+	// property the Big MAC attack exploits (valid for the primary, broken
+	// for the rest).
+	keys := []Key{10, 20, 30, 40}
+	a := NewAuthenticator(keys, 7).Clone()
+	for i := 1; i < 4; i++ {
+		a[i] = Corrupt(a[i])
+	}
+	if !a.VerifyEntry(0, keys[0], 7) {
+		t.Error("uncorrupted primary entry no longer verifies")
+	}
+	for i := 1; i < 4; i++ {
+		if a.VerifyEntry(i, keys[i], 7) {
+			t.Errorf("corrupted entry %d still verifies", i)
+		}
+	}
+}
+
+func TestVerifyEntryOutOfRange(t *testing.T) {
+	a := NewAuthenticator([]Key{1}, 7)
+	if a.VerifyEntry(-1, 1, 7) || a.VerifyEntry(1, 1, 7) {
+		t.Error("out-of-range entry verified")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := NewAuthenticator([]Key{1, 2}, 7)
+	c := a.Clone()
+	c[0] = Corrupt(c[0])
+	if a[0] == c[0] {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestKeyringSymmetric(t *testing.T) {
+	kr := NewKeyring(99)
+	if kr.Pairwise(3, 7) != kr.Pairwise(7, 3) {
+		t.Error("pairwise keys are not symmetric")
+	}
+}
+
+func TestKeyringDistinctPairs(t *testing.T) {
+	kr := NewKeyring(99)
+	seen := make(map[Key][2]int)
+	for a := 0; a < 20; a++ {
+		for b := a + 1; b < 20; b++ {
+			k := kr.Pairwise(a, b)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("key collision between pair (%d,%d) and %v", a, b, prev)
+			}
+			seen[k] = [2]int{a, b}
+		}
+	}
+}
+
+func TestKeyringSeedSeparation(t *testing.T) {
+	if NewKeyring(1).Pairwise(0, 1) == NewKeyring(2).Pairwise(0, 1) {
+		t.Error("different seeds produced the same pairwise key")
+	}
+}

@@ -1,0 +1,286 @@
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"avd/internal/faultinject"
+	"avd/internal/mac"
+	"avd/internal/sim"
+	"avd/internal/simnet"
+)
+
+// PointGenerateMAC is the fault-injection point instrumenting every MAC
+// computation in a client's authenticator generation — the injection
+// point of the paper's PBFT experiment. Call numbers advance by one per
+// MAC entry, so with N replicas a request consumes N consecutive calls
+// and a 12-bit ModMask cycles over 12/N requests.
+const PointGenerateMAC = "client.generateMAC"
+
+// ClientConfig tunes client behavior.
+type ClientConfig struct {
+	// Retry is the initial retransmission timeout; after it fires the
+	// client broadcasts the request to all replicas.
+	Retry time.Duration
+	// RetryCap bounds the exponential retransmission backoff.
+	RetryCap time.Duration
+	// ThinkTime separates a reply from the next request (closed loop
+	// when zero).
+	ThinkTime time.Duration
+	// Broadcast makes every first transmission go to all replicas
+	// instead of just the primary. The colluding client of the
+	// slow-primary attack uses this to seed the backups' request timers.
+	Broadcast bool
+}
+
+// DefaultClientConfig matches the closed-loop benchmark clients of the
+// PBFT evaluation: moderate retransmission timeout with backoff.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		Retry:    150 * time.Millisecond,
+		RetryCap: 2 * time.Second,
+	}
+}
+
+// ClientStats counts client activity.
+type ClientStats struct {
+	Issued          uint64
+	Completed       uint64
+	Retransmissions uint64
+	BadReplies      uint64 // replies whose MAC failed verification
+}
+
+// Client is a closed-loop PBFT client: it keeps exactly one request
+// outstanding and issues the next one as soon as the current one
+// completes (f+1 matching, authenticated replies).
+type Client struct {
+	addr    simnet.Addr
+	pcfg    Config
+	ccfg    ClientConfig
+	eng     *sim.Engine
+	net     *simnet.Network
+	keyring *mac.Keyring
+	inj     *faultinject.Injector
+
+	running    bool
+	view       uint64 // best known view, learned from replies
+	seq        uint64
+	curDigest  uint64
+	sentAt     sim.Time
+	replies    map[int]uint64 // replica -> result for the current request
+	retryTimer *sim.Timer
+	curRetry   time.Duration
+
+	// onComplete, when set, observes every completed request.
+	onComplete func(seq uint64, latency time.Duration)
+
+	stats ClientStats
+}
+
+// ClientOption customizes client construction.
+type ClientOption func(*Client)
+
+// WithInjector routes the client's MAC generation through a fault
+// injector; malicious clients get a ModMask plan here.
+func WithInjector(in *faultinject.Injector) ClientOption {
+	return func(c *Client) { c.inj = in }
+}
+
+// WithOnComplete registers a completion observer.
+func WithOnComplete(fn func(seq uint64, latency time.Duration)) ClientOption {
+	return func(c *Client) { c.onComplete = fn }
+}
+
+// NewClient creates a client at addr (which must not collide with the
+// replica addresses 0..N-1) and registers it on the network.
+func NewClient(addr simnet.Addr, pcfg Config, ccfg ClientConfig, net *simnet.Network, keyring *mac.Keyring, opts ...ClientOption) (*Client, error) {
+	if err := pcfg.Validate(); err != nil {
+		return nil, err
+	}
+	if int(addr) < pcfg.N {
+		return nil, fmt.Errorf("pbft: client address %v collides with replica ids", addr)
+	}
+	if ccfg.Retry <= 0 {
+		ccfg.Retry = DefaultClientConfig().Retry
+	}
+	if ccfg.RetryCap < ccfg.Retry {
+		ccfg.RetryCap = 8 * ccfg.Retry
+	}
+	c := &Client{
+		addr:    addr,
+		pcfg:    pcfg,
+		ccfg:    ccfg,
+		eng:     net.Engine(),
+		net:     net,
+		keyring: keyring,
+		inj:     faultinject.NewInjector(faultinject.Plan{}),
+		replies: make(map[int]uint64),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	net.Handle(addr, c.onMessage)
+	return c, nil
+}
+
+// Addr returns the client's network address.
+func (c *Client) Addr() simnet.Addr { return c.addr }
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// Seq returns the client's current request number.
+func (c *Client) Seq() uint64 { return c.seq }
+
+// Outstanding reports whether a request is currently in flight and when
+// it was sent; measurement code uses it to account for requests that
+// never complete (censored latency).
+func (c *Client) Outstanding() (sim.Time, bool) {
+	if !c.running || c.seq == 0 {
+		return 0, false
+	}
+	return c.sentAt, true
+}
+
+// Start begins the closed loop. It is idempotent.
+func (c *Client) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.issueNext()
+}
+
+// Stop halts the loop and cancels timers.
+func (c *Client) Stop() {
+	c.running = false
+	if c.retryTimer != nil {
+		c.retryTimer.Stop()
+		c.retryTimer = nil
+	}
+}
+
+func (c *Client) issueNext() {
+	if !c.running {
+		return
+	}
+	c.seq++
+	c.replies = make(map[int]uint64)
+	c.curRetry = c.ccfg.Retry
+	c.sentAt = c.eng.Now()
+	c.stats.Issued++
+	req := c.buildRequest(false)
+	c.curDigest = req.Digest()
+	if c.ccfg.Broadcast {
+		c.net.Broadcast(c.addr, c.replicaAddrs(), req)
+	} else {
+		c.net.Send(c.addr, simnet.Addr(c.pcfg.PrimaryOf(c.view)), req)
+	}
+	c.armRetry()
+}
+
+// buildRequest assembles the request with a freshly generated
+// authenticator. Retransmissions regenerate all MACs, consuming new
+// generateMAC call numbers — which is why a mask can corrupt a first
+// transmission but leave its retransmission intact (the undocumented-bug
+// dynamics of §6).
+func (c *Client) buildRequest(retransmission bool) *Request {
+	req := &Request{
+		Client:         c.addr,
+		Seq:            c.seq,
+		Op:             uint64(c.seq)<<16 | uint64(c.addr)&0xffff,
+		Retransmission: retransmission,
+	}
+	digest := req.Digest()
+	auth := make(mac.Authenticator, c.pcfg.N)
+	for i := 0; i < c.pcfg.N; i++ {
+		tag := c.generateMAC(i, digest)
+		auth[i] = tag
+	}
+	req.Auth = auth
+	return req
+}
+
+// generateMAC computes the authenticator entry for one replica, routing
+// through the instrumented injection point.
+func (c *Client) generateMAC(replica int, digest uint64) mac.Tag {
+	tag := mac.Sum(c.keyring.Pairwise(int(c.addr), replica), digest)
+	if d := c.inj.Check(PointGenerateMAC); d.Action == faultinject.ActCorrupt {
+		tag = mac.Corrupt(tag)
+	}
+	return tag
+}
+
+func (c *Client) replicaAddrs() []simnet.Addr {
+	addrs := make([]simnet.Addr, 0, c.pcfg.N)
+	for i := 0; i < c.pcfg.N; i++ {
+		addrs = append(addrs, simnet.Addr(i))
+	}
+	return addrs
+}
+
+func (c *Client) armRetry() {
+	if c.retryTimer != nil {
+		c.retryTimer.Stop()
+	}
+	seq := c.seq
+	c.retryTimer = c.eng.Schedule(c.curRetry, func() { c.onRetry(seq) })
+}
+
+func (c *Client) onRetry(seq uint64) {
+	if !c.running || seq != c.seq {
+		return
+	}
+	c.stats.Retransmissions++
+	req := c.buildRequest(true)
+	c.net.Broadcast(c.addr, c.replicaAddrs(), req)
+	c.curRetry *= 2
+	if c.curRetry > c.ccfg.RetryCap {
+		c.curRetry = c.ccfg.RetryCap
+	}
+	c.armRetry()
+}
+
+func (c *Client) onMessage(from simnet.Addr, payload any) {
+	reply, ok := payload.(*Reply)
+	if !ok || !c.running {
+		return
+	}
+	if reply.Seq != c.seq || reply.Client != c.addr {
+		return
+	}
+	if !mac.Verify(c.keyring.Pairwise(reply.Replica, int(c.addr)), reply.digest(), reply.Tag) {
+		c.stats.BadReplies++
+		return
+	}
+	if reply.View > c.view {
+		c.view = reply.View
+	}
+	c.replies[reply.Replica] = reply.Result
+	// f+1 matching results complete the request.
+	counts := make(map[uint64]int)
+	for _, res := range c.replies {
+		counts[res]++
+		if counts[res] >= c.pcfg.F+1 {
+			c.complete()
+			return
+		}
+	}
+}
+
+func (c *Client) complete() {
+	c.stats.Completed++
+	if c.retryTimer != nil {
+		c.retryTimer.Stop()
+		c.retryTimer = nil
+	}
+	latency := c.eng.Now().Sub(c.sentAt)
+	if c.onComplete != nil {
+		c.onComplete(c.seq, latency)
+	}
+	if c.ccfg.ThinkTime > 0 {
+		c.eng.Schedule(c.ccfg.ThinkTime, c.issueNext)
+	} else {
+		c.issueNext()
+	}
+}

@@ -1,0 +1,904 @@
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"avd/internal/mac"
+	"avd/internal/sim"
+	"avd/internal/simnet"
+)
+
+// ByzantineBehavior configures a faulty replica. The zero value (or a nil
+// pointer) is a correct replica. The only replica-side behavior the paper
+// exercises is the "slow primary": a primary that executes just enough
+// requests to keep the (buggy) single view-change timer from firing.
+type ByzantineBehavior struct {
+	// SlowPrimary makes the replica, when primary, propose exactly one
+	// single-request batch per SlowInterval instead of batching eagerly.
+	SlowPrimary bool
+	// SlowInterval is the proposal period; it defaults to 90% of the
+	// view-change timeout, the largest interval that beats the timer.
+	SlowInterval time.Duration
+	// ColludeWith, when non-empty, makes the slow primary serve only
+	// these client addresses, ignoring correct clients entirely (§6:
+	// "the primary can ignore all messages from correct clients").
+	ColludeWith map[simnet.Addr]bool
+}
+
+// ReplicaStats counts protocol activity at one replica.
+type ReplicaStats struct {
+	BatchesProposed   uint64
+	BatchesExecuted   uint64
+	RequestsExecuted  uint64
+	NullsExecuted     uint64
+	RejectedBatches   uint64 // pre-prepares refused: client MAC failed
+	RejectedRequests  uint64 // direct/forwarded requests dropped: MAC failed
+	ForwardedRequests uint64
+	TimerViewChanges  uint64 // view changes initiated by the request timer
+	ViewsInstalled    uint64
+	CheckpointsStable uint64
+	StateTransfers    uint64 // committed-quorum executions of rejected batches
+}
+
+// logEntry tracks one sequence number's agreement state.
+type logEntry struct {
+	view       uint64
+	digest     uint64
+	batch      []*Request
+	prePrepare *PrePrepare
+	// badIdx holds batch indices whose client MAC failed verification at
+	// this replica. While non-empty the entry is "poisoned": the replica
+	// refuses to prepare it. Because the request digest covers only the
+	// request body (client, seq, op) and not the transport-level
+	// authenticator, a later retransmission of the same request with
+	// valid MACs *heals* the index (the real implementation fetches
+	// missing/unauthenticated requests the same way).
+	badIdx    map[int]bool
+	prepares  map[int]uint64 // backup replica -> digest voted
+	commits   map[int]uint64
+	prepared  bool
+	committed bool
+	executed  bool
+}
+
+func newLogEntry() *logEntry {
+	return &logEntry{prepares: make(map[int]uint64), commits: make(map[int]uint64)}
+}
+
+// poisoned reports whether the entry still has unauthenticated requests.
+func (e *logEntry) poisoned() bool { return len(e.badIdx) > 0 }
+
+// reset clears agreement state when the entry is superseded by a higher
+// view's pre-prepare.
+func (e *logEntry) reset(view uint64) {
+	e.view = view
+	e.digest = 0
+	e.batch = nil
+	e.prePrepare = nil
+	e.badIdx = nil
+	e.prepares = make(map[int]uint64)
+	e.commits = make(map[int]uint64)
+	e.prepared = false
+	e.committed = false
+}
+
+// seqIdx locates one request inside the log: sequence number and batch
+// index.
+type seqIdx struct {
+	seq uint64
+	idx int
+}
+
+// forwarded tracks a request received directly from a client: the copy
+// itself and whether any received copy carried a MAC this replica could
+// verify (used for healing and for surviving re-proposals).
+type forwarded struct {
+	req      *Request
+	verified bool
+}
+
+// Replica is one PBFT replica. All methods run on the simulation
+// goroutine.
+type Replica struct {
+	id      int
+	cfg     Config
+	eng     *sim.Engine
+	net     *simnet.Network
+	keyring *mac.Keyring
+	byz     *ByzantineBehavior
+
+	crashed      bool
+	crashReason  string
+	view         uint64
+	inViewChange bool
+	pendingView  uint64
+
+	seqCounter uint64 // primary: last assigned sequence number
+	lastExec   uint64
+	lowWater   uint64
+	log        map[uint64]*logEntry
+
+	// Primary batching state.
+	pending    []*Request
+	inFlight   map[RequestKey]bool
+	batchTimer *sim.Timer
+	slowTimer  *sim.Timer
+
+	// Client bookkeeping.
+	lastReply map[simnet.Addr]*Reply
+
+	// Client-request view-change timers (§6). pendingForwarded holds the
+	// requests this replica received directly from clients and has not
+	// seen execute ("such messages" in the paper's wording).
+	pendingForwarded map[RequestKey]*forwarded
+	singleTimer      *sim.Timer                // SingleTimer mode
+	reqTimers        map[RequestKey]*sim.Timer // PerRequestTimer mode
+
+	// pendingBad indexes poisoned log slots by request key so that a
+	// valid retransmission can heal them.
+	pendingBad map[RequestKey][]seqIdx
+
+	// Checkpoints: seq -> replica -> state digest.
+	checkpoints map[uint64]map[int]uint64
+	stateDigest uint64
+
+	// View change state: target view -> replica -> message.
+	viewChanges  map[uint64]map[int]*ViewChange
+	newViewTimer *sim.Timer
+	nvTimeout    time.Duration
+
+	// CrashOnBadReproposal models the implementation fragility the paper
+	// triggered ("PBFT will perform a view change and crash", §6): the
+	// view-change path dereferences request bodies that were discarded
+	// when a batch was rejected for a bad client MAC. When true (the
+	// default, matching the attacked codebase), a replica halts if it
+	// (a) starts a view change while holding rejected entries, or
+	// (b) must re-propose / re-prepare a batch it cannot authenticate.
+	crashOnBadReproposal bool
+
+	stats ReplicaStats
+}
+
+// ReplicaOption customizes replica construction.
+type ReplicaOption func(*Replica)
+
+// WithByzantine installs a Byzantine behavior (nil leaves the replica
+// correct).
+func WithByzantine(b *ByzantineBehavior) ReplicaOption {
+	return func(r *Replica) { r.byz = b }
+}
+
+// WithCrashOnBadReproposal toggles the modeled view-change crash defect.
+func WithCrashOnBadReproposal(on bool) ReplicaOption {
+	return func(r *Replica) { r.crashOnBadReproposal = on }
+}
+
+// NewReplica creates replica id and registers it on the network at
+// address Addr(id).
+func NewReplica(id int, cfg Config, net *simnet.Network, keyring *mac.Keyring, opts ...ReplicaOption) (*Replica, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= cfg.N {
+		return nil, fmt.Errorf("pbft: replica id %d out of range [0,%d)", id, cfg.N)
+	}
+	r := &Replica{
+		id:                   id,
+		cfg:                  cfg,
+		eng:                  net.Engine(),
+		net:                  net,
+		keyring:              keyring,
+		log:                  make(map[uint64]*logEntry),
+		inFlight:             make(map[RequestKey]bool),
+		lastReply:            make(map[simnet.Addr]*Reply),
+		pendingForwarded:     make(map[RequestKey]*forwarded),
+		reqTimers:            make(map[RequestKey]*sim.Timer),
+		pendingBad:           make(map[RequestKey][]seqIdx),
+		checkpoints:          make(map[uint64]map[int]uint64),
+		viewChanges:          make(map[uint64]map[int]*ViewChange),
+		nvTimeout:            cfg.NewViewTimeout,
+		crashOnBadReproposal: true,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.byz != nil && r.byz.SlowPrimary && r.byz.SlowInterval <= 0 {
+		r.byz.SlowInterval = cfg.ViewChangeTimeout * 9 / 10
+	}
+	net.Handle(simnet.Addr(id), r.onMessage)
+	if r.isSlowPrimary() {
+		r.armSlowTimer()
+	}
+	return r, nil
+}
+
+// Addr returns the replica's network address.
+func (r *Replica) Addr() simnet.Addr { return simnet.Addr(r.id) }
+
+// ID returns the replica identifier.
+func (r *Replica) ID() int { return r.id }
+
+// View returns the replica's current view.
+func (r *Replica) View() uint64 { return r.view }
+
+// LastExecuted returns the highest executed sequence number.
+func (r *Replica) LastExecuted() uint64 { return r.lastExec }
+
+// StateDigest returns the running digest of the executed history; correct
+// replicas that executed the same prefix agree on it.
+func (r *Replica) StateDigest() uint64 { return r.stateDigest }
+
+// Crashed reports whether the replica has halted, and why.
+func (r *Replica) Crashed() (bool, string) { return r.crashed, r.crashReason }
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() ReplicaStats { return r.stats }
+
+// InViewChange reports whether the replica is between views.
+func (r *Replica) InViewChange() bool { return r.inViewChange }
+
+func (r *Replica) isPrimary() bool { return r.cfg.PrimaryOf(r.view) == r.id }
+
+func (r *Replica) isSlowPrimary() bool {
+	return r.byz != nil && r.byz.SlowPrimary && r.isPrimary() && !r.inViewChange && !r.crashed
+}
+
+func (r *Replica) replicaAddrs() []simnet.Addr {
+	addrs := make([]simnet.Addr, 0, r.cfg.N)
+	for i := 0; i < r.cfg.N; i++ {
+		addrs = append(addrs, simnet.Addr(i))
+	}
+	return addrs
+}
+
+// authFor builds a replica-to-replica authenticator covering digest.
+func (r *Replica) authFor(digest uint64) mac.Authenticator {
+	keys := make([]mac.Key, r.cfg.N)
+	for i := 0; i < r.cfg.N; i++ {
+		keys[i] = r.keyring.Pairwise(r.id, i)
+	}
+	return mac.NewAuthenticator(keys, digest)
+}
+
+// verifyPeer checks our entry of a peer replica's authenticator.
+func (r *Replica) verifyPeer(peer int, auth mac.Authenticator, digest uint64) bool {
+	return auth.VerifyEntry(r.id, r.keyring.Pairwise(peer, r.id), digest)
+}
+
+// verifyClientMAC checks our entry of a client request's authenticator.
+func (r *Replica) verifyClientMAC(req *Request) bool {
+	if req.IsNull() {
+		return true
+	}
+	return req.Auth.VerifyEntry(r.id, r.keyring.Pairwise(int(req.Client), r.id), req.Digest())
+}
+
+func (r *Replica) crash(reason string) {
+	if r.crashed {
+		return
+	}
+	r.crashed = true
+	r.crashReason = reason
+	r.stopAllRequestTimers()
+	if r.batchTimer != nil {
+		r.batchTimer.Stop()
+	}
+	if r.slowTimer != nil {
+		r.slowTimer.Stop()
+	}
+	if r.newViewTimer != nil {
+		r.newViewTimer.Stop()
+	}
+}
+
+// onMessage dispatches a delivered network message.
+func (r *Replica) onMessage(from simnet.Addr, payload any) {
+	if r.crashed {
+		return
+	}
+	switch m := payload.(type) {
+	case *Request:
+		r.onDirectRequest(m)
+	case *ForwardedRequest:
+		r.onForwardedRequest(m)
+	case *PrePrepare:
+		r.onPrePrepare(int(from), m)
+	case *Prepare:
+		r.onPrepare(m)
+	case *Commit:
+		r.onCommit(m)
+	case *Checkpoint:
+		r.onCheckpoint(m)
+	case *ViewChange:
+		r.onViewChange(m)
+	case *NewView:
+		r.onNewView(int(from), m)
+	}
+}
+
+// --- Client request path -------------------------------------------------
+
+// onDirectRequest handles a request received straight from a client.
+func (r *Replica) onDirectRequest(req *Request) {
+	key := req.Key()
+	// Executed already? Re-send the cached reply.
+	if last, ok := r.lastReply[req.Client]; ok && last.Seq >= req.Seq {
+		if last.Seq == req.Seq {
+			r.net.Send(r.Addr(), req.Client, last)
+		}
+		return
+	}
+	if r.isPrimary() && !r.inViewChange {
+		r.primaryAdmit(req)
+		return
+	}
+	// Backup (or mid view change): forward to the primary and start the
+	// view-change timer. The implementation forwards regardless of MAC
+	// validity — authentication happens on the agreement path — which is
+	// why corrupted retransmissions still wind the timer (§6).
+	valid := r.verifyClientMAC(req)
+	fw, ok := r.pendingForwarded[key]
+	if !ok {
+		fw = &forwarded{req: req}
+		r.pendingForwarded[key] = fw
+		r.stats.ForwardedRequests++
+	}
+	if valid {
+		fw.verified = true
+		fw.req = req
+		r.healPoisoned(key)
+	}
+	if !r.inViewChange {
+		r.net.Send(r.Addr(), simnet.Addr(r.cfg.PrimaryOf(r.view)), &ForwardedRequest{Request: req, Replica: r.id})
+		r.armRequestTimer(key)
+	}
+}
+
+// healPoisoned resolves poisoned log slots waiting on a valid copy of the
+// request: since the batch digest covers request bodies, a verified
+// retransmission authenticates the stored copy. Entries whose last bad
+// index heals proceed to prepare.
+func (r *Replica) healPoisoned(key RequestKey) {
+	slots, ok := r.pendingBad[key]
+	if !ok {
+		return
+	}
+	delete(r.pendingBad, key)
+	for _, si := range slots {
+		entry, ok := r.log[si.seq]
+		if !ok || entry.executed || !entry.badIdx[si.idx] {
+			continue
+		}
+		if si.idx >= len(entry.batch) || entry.batch[si.idx].Key() != key {
+			continue
+		}
+		delete(entry.badIdx, si.idx)
+		if entry.poisoned() {
+			continue
+		}
+		// Fully healed: resume the agreement path we refused earlier.
+		if r.inViewChange || entry.view != r.view || entry.prePrepare == nil {
+			continue
+		}
+		prep := &Prepare{View: entry.view, SeqNo: si.seq, Digest: entry.digest, Replica: r.id}
+		prep.Auth = r.authFor(fnv3(prep.View, prep.SeqNo, prep.Digest))
+		entry.prepares[r.id] = entry.digest
+		r.net.Broadcast(r.Addr(), r.replicaAddrs(), prep)
+		r.checkPrepared(si.seq, entry)
+		r.checkCommitted(si.seq, entry)
+	}
+}
+
+// onForwardedRequest handles a backup-relayed client request (primary).
+func (r *Replica) onForwardedRequest(fw *ForwardedRequest) {
+	if !r.isPrimary() || r.inViewChange {
+		return
+	}
+	req := fw.Request
+	if last, ok := r.lastReply[req.Client]; ok && last.Seq >= req.Seq {
+		if last.Seq == req.Seq {
+			r.net.Send(r.Addr(), req.Client, last)
+		}
+		return
+	}
+	r.primaryAdmit(req)
+}
+
+// primaryAdmit runs the primary's admission path for a client request.
+func (r *Replica) primaryAdmit(req *Request) {
+	key := req.Key()
+	if r.inFlight[key] {
+		return
+	}
+	if r.isSlowPrimary() {
+		// The slow primary buffers requests and proposes on its own
+		// clock; in collusion mode it ignores everyone else.
+		if len(r.byz.ColludeWith) > 0 && !r.byz.ColludeWith[req.Client] {
+			return
+		}
+		if !r.verifyClientMAC(req) {
+			r.stats.RejectedRequests++
+			return
+		}
+		r.inFlight[key] = true
+		r.pending = append(r.pending, req)
+		return
+	}
+	if !r.verifyClientMAC(req) {
+		// The primary verifies its own authenticator entry before
+		// assigning a sequence number; failures are dropped silently.
+		r.stats.RejectedRequests++
+		return
+	}
+	r.inFlight[key] = true
+	r.pending = append(r.pending, req)
+	if len(r.pending) >= r.cfg.BatchSize {
+		r.proposeBatch()
+		return
+	}
+	if r.batchTimer == nil || !r.batchTimer.Active() {
+		r.batchTimer = r.eng.Schedule(r.cfg.BatchDelay, r.proposeBatch)
+	}
+}
+
+// proposeBatch emits a pre-prepare for the currently buffered requests.
+func (r *Replica) proposeBatch() {
+	if r.crashed || r.inViewChange || !r.isPrimary() || len(r.pending) == 0 {
+		return
+	}
+	if r.batchTimer != nil {
+		r.batchTimer.Stop()
+		r.batchTimer = nil
+	}
+	for len(r.pending) > 0 {
+		if r.seqCounter+1 > r.lowWater+r.cfg.WindowSize {
+			// Watermark window full: wait for a checkpoint to advance.
+			return
+		}
+		n := len(r.pending)
+		if n > r.cfg.BatchSize {
+			n = r.cfg.BatchSize
+		}
+		batch := r.pending[:n]
+		r.pending = append([]*Request(nil), r.pending[n:]...)
+		r.seqCounter++
+		r.sendPrePrepare(r.seqCounter, batch)
+	}
+}
+
+// sendPrePrepare broadcasts and locally accepts a pre-prepare.
+func (r *Replica) sendPrePrepare(seq uint64, batch []*Request) {
+	digest := BatchDigest(batch)
+	pp := &PrePrepare{
+		View:   r.view,
+		SeqNo:  seq,
+		Batch:  batch,
+		Digest: digest,
+		Auth:   r.authFor(fnv3(r.view, seq, digest)),
+	}
+	r.stats.BatchesProposed++
+	entry := r.getEntry(seq)
+	if entry.prePrepare != nil && entry.view == r.view {
+		return // already proposed at this seq in this view
+	}
+	entry.reset(r.view)
+	entry.digest = digest
+	entry.batch = batch
+	entry.prePrepare = pp
+	r.net.Broadcast(r.Addr(), r.replicaAddrs(), pp)
+	r.checkPrepared(seq, entry)
+}
+
+func (r *Replica) getEntry(seq uint64) *logEntry {
+	e, ok := r.log[seq]
+	if !ok {
+		e = newLogEntry()
+		r.log[seq] = e
+	}
+	return e
+}
+
+// --- Agreement ------------------------------------------------------------
+
+func (r *Replica) onPrePrepare(from int, pp *PrePrepare) {
+	if r.inViewChange || pp.View != r.view {
+		return
+	}
+	if from != r.cfg.PrimaryOf(pp.View) || from == r.id {
+		return
+	}
+	if pp.SeqNo <= r.lowWater || pp.SeqNo > r.lowWater+r.cfg.WindowSize {
+		return
+	}
+	if !r.verifyPeer(from, pp.Auth, fnv3(pp.View, pp.SeqNo, pp.Digest)) {
+		return
+	}
+	if BatchDigest(pp.Batch) != pp.Digest {
+		return
+	}
+	entry := r.getEntry(pp.SeqNo)
+	if entry.prePrepare != nil && entry.view == pp.View {
+		return // first pre-prepare for (view, seq) wins
+	}
+	if entry.view > pp.View {
+		return
+	}
+	accepted := r.acceptPrePrepare(pp, entry)
+	if !accepted {
+		// Poisoned: no prepare from us, but commits buffered from the
+		// quorum can still certify the batch (state-transfer surrogate).
+		r.checkCommitted(pp.SeqNo, entry)
+		return
+	}
+	prep := &Prepare{View: pp.View, SeqNo: pp.SeqNo, Digest: pp.Digest, Replica: r.id}
+	prep.Auth = r.authFor(fnv3(prep.View, prep.SeqNo, prep.Digest))
+	entry.prepares[r.id] = pp.Digest
+	r.net.Broadcast(r.Addr(), r.replicaAddrs(), prep)
+	r.checkPrepared(pp.SeqNo, entry)
+	r.checkCommitted(pp.SeqNo, entry)
+}
+
+// acceptPrePrepare verifies the batch's client MACs and stores the entry.
+// It returns false when the batch is poisoned (Big MAC): the replica
+// keeps the entry but refuses to prepare it until every unauthenticated
+// request is healed by a validly-authenticated retransmission.
+//
+// Prepares and commits may have been buffered into the entry before the
+// pre-prepare arrived (the network reorders); same-view votes survive
+// the reset, otherwise a reordered delivery would permanently lose the
+// quorum.
+func (r *Replica) acceptPrePrepare(pp *PrePrepare, entry *logEntry) bool {
+	var keepPrepares, keepCommits map[int]uint64
+	if entry.view == pp.View {
+		keepPrepares, keepCommits = entry.prepares, entry.commits
+	}
+	entry.reset(pp.View)
+	if keepPrepares != nil {
+		entry.prepares = keepPrepares
+		entry.commits = keepCommits
+	}
+	entry.digest = pp.Digest
+	entry.prePrepare = pp
+	entry.batch = pp.Batch
+	for i, req := range pp.Batch {
+		if r.verifyClientMAC(req) {
+			continue
+		}
+		// A previously verified direct copy authenticates the body.
+		if fw, ok := r.pendingForwarded[req.Key()]; ok && fw.verified {
+			continue
+		}
+		if entry.badIdx == nil {
+			entry.badIdx = make(map[int]bool)
+		}
+		entry.badIdx[i] = true
+		r.pendingBad[req.Key()] = append(r.pendingBad[req.Key()], seqIdx{seq: pp.SeqNo, idx: i})
+	}
+	if entry.poisoned() {
+		r.stats.RejectedBatches++
+		return false
+	}
+	return true
+}
+
+func (r *Replica) onPrepare(p *Prepare) {
+	if r.inViewChange || p.View != r.view {
+		return
+	}
+	if p.SeqNo <= r.lowWater || p.SeqNo > r.lowWater+r.cfg.WindowSize {
+		return
+	}
+	if p.Replica == r.cfg.PrimaryOf(p.View) {
+		return // the primary's pre-prepare is its prepare
+	}
+	if !r.verifyPeer(p.Replica, p.Auth, fnv3(p.View, p.SeqNo, p.Digest)) {
+		return
+	}
+	entry := r.getEntry(p.SeqNo)
+	if entry.prePrepare == nil {
+		// Vote buffered ahead of the pre-prepare: tag its view so the
+		// pre-prepare can tell whether to keep it.
+		entry.view = p.View
+	} else if entry.view != p.View {
+		return
+	}
+	entry.prepares[p.Replica] = p.Digest
+	r.checkPrepared(p.SeqNo, entry)
+}
+
+// checkPrepared promotes the entry to prepared (pre-prepare accepted plus
+// 2F matching prepares from distinct backups) and emits our commit.
+func (r *Replica) checkPrepared(seq uint64, entry *logEntry) {
+	if entry.prepared || entry.poisoned() || entry.prePrepare == nil {
+		return
+	}
+	matching := 0
+	for _, d := range entry.prepares {
+		if d == entry.digest {
+			matching++
+		}
+	}
+	if matching < 2*r.cfg.F {
+		return
+	}
+	entry.prepared = true
+	c := &Commit{View: entry.view, SeqNo: seq, Digest: entry.digest, Replica: r.id}
+	c.Auth = r.authFor(fnv3(c.View, c.SeqNo, c.Digest))
+	entry.commits[r.id] = entry.digest
+	r.net.Broadcast(r.Addr(), r.replicaAddrs(), c)
+	r.checkCommitted(seq, entry)
+}
+
+func (r *Replica) onCommit(c *Commit) {
+	if r.inViewChange || c.View != r.view {
+		return
+	}
+	if c.SeqNo <= r.lowWater || c.SeqNo > r.lowWater+r.cfg.WindowSize {
+		return
+	}
+	if !r.verifyPeer(c.Replica, c.Auth, fnv3(c.View, c.SeqNo, c.Digest)) {
+		return
+	}
+	entry := r.getEntry(c.SeqNo)
+	if entry.prePrepare == nil {
+		entry.view = c.View
+	} else if entry.view != c.View {
+		return
+	}
+	entry.commits[c.Replica] = c.Digest
+	r.checkCommitted(c.SeqNo, entry)
+}
+
+// checkCommitted promotes the entry to committed at quorum 2F+1 and
+// drives in-order execution. A replica still holding the batch as
+// poisoned executes on the commit quorum anyway (standing in for PBFT's
+// state transfer), so correct replicas converge even when outvoted on a
+// MAC check.
+func (r *Replica) checkCommitted(seq uint64, entry *logEntry) {
+	if entry.committed || entry.prePrepare == nil {
+		return
+	}
+	if !entry.prepared && !entry.poisoned() {
+		return
+	}
+	matching := 0
+	for _, d := range entry.commits {
+		if d == entry.digest {
+			matching++
+		}
+	}
+	if matching < r.cfg.Quorum() {
+		return
+	}
+	if entry.poisoned() {
+		r.stats.StateTransfers++
+	}
+	entry.committed = true
+	r.tryExecute()
+}
+
+// tryExecute executes committed entries in sequence order.
+func (r *Replica) tryExecute() {
+	for {
+		entry, ok := r.log[r.lastExec+1]
+		if !ok || !entry.committed || entry.executed {
+			return
+		}
+		r.lastExec++
+		entry.executed = true
+		r.executeBatch(r.lastExec, entry)
+		if r.lastExec%r.cfg.CheckpointInterval == 0 {
+			r.emitCheckpoint(r.lastExec)
+		}
+	}
+}
+
+func (r *Replica) executeBatch(seq uint64, entry *logEntry) {
+	r.stats.BatchesExecuted++
+	// Execution settles the entry: any unauthenticated copies are
+	// superseded by the commit quorum.
+	entry.badIdx = nil
+	for _, req := range entry.batch {
+		delete(r.pendingBad, req.Key())
+	}
+	for _, req := range entry.batch {
+		if req.IsNull() {
+			r.stats.NullsExecuted++
+			continue
+		}
+		if last, ok := r.lastReply[req.Client]; ok && last.Seq >= req.Seq {
+			continue // duplicate, already executed
+		}
+		r.stateDigest = fnv3(r.stateDigest, req.Digest(), seq)
+		r.stats.RequestsExecuted++
+		reply := &Reply{
+			View:    r.view,
+			Replica: r.id,
+			Client:  req.Client,
+			Seq:     req.Seq,
+			Result:  r.stateDigest,
+		}
+		reply.Tag = mac.Sum(r.keyring.Pairwise(r.id, int(req.Client)), reply.digest())
+		r.lastReply[req.Client] = reply
+		delete(r.inFlight, req.Key())
+		if r.cfg.ExecTime > 0 {
+			reply := reply
+			r.eng.Schedule(r.cfg.ExecTime, func() {
+				if !r.crashed {
+					r.net.Send(r.Addr(), reply.Client, reply)
+				}
+			})
+		} else {
+			r.net.Send(r.Addr(), req.Client, reply)
+		}
+		r.onRequestExecuted(req.Key())
+	}
+}
+
+// --- Client-request view-change timers (§6 of the paper) ------------------
+
+// armRequestTimer starts the view-change timer for a request received
+// directly from a client.
+func (r *Replica) armRequestTimer(key RequestKey) {
+	switch r.cfg.TimerMode {
+	case SingleTimer:
+		// The bug: one timer for the whole replica. Setting it again
+		// while running is a no-op.
+		if r.singleTimer == nil || !r.singleTimer.Active() {
+			r.singleTimer = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.onRequestTimerFired)
+		}
+	case PerRequestTimer:
+		if t, ok := r.reqTimers[key]; !ok || !t.Active() {
+			r.reqTimers[key] = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.onRequestTimerFired)
+		}
+	}
+}
+
+// onRequestExecuted updates timers when a request executes.
+func (r *Replica) onRequestExecuted(key RequestKey) {
+	if _, wasPending := r.pendingForwarded[key]; !wasPending {
+		return
+	}
+	delete(r.pendingForwarded, key)
+	switch r.cfg.TimerMode {
+	case SingleTimer:
+		// The bug: executing ANY directly-received request resets the
+		// single timer, granting the primary a fresh full period even
+		// though other forwarded requests still pend.
+		if r.singleTimer != nil {
+			r.singleTimer.Stop()
+			r.singleTimer = nil
+		}
+		if len(r.pendingForwarded) > 0 && !r.inViewChange {
+			r.singleTimer = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.onRequestTimerFired)
+		}
+	case PerRequestTimer:
+		if t, ok := r.reqTimers[key]; ok {
+			t.Stop()
+			delete(r.reqTimers, key)
+		}
+	}
+}
+
+func (r *Replica) onRequestTimerFired() {
+	if r.crashed || r.inViewChange {
+		return
+	}
+	r.stats.TimerViewChanges++
+	r.startViewChange(r.view + 1)
+}
+
+func (r *Replica) stopAllRequestTimers() {
+	if r.singleTimer != nil {
+		r.singleTimer.Stop()
+		r.singleTimer = nil
+	}
+	for k, t := range r.reqTimers {
+		t.Stop()
+		delete(r.reqTimers, k)
+	}
+}
+
+// --- Checkpoints -----------------------------------------------------------
+
+func (r *Replica) emitCheckpoint(seq uint64) {
+	cp := &Checkpoint{SeqNo: seq, Digest: r.stateDigest, Replica: r.id}
+	cp.Auth = r.authFor(fnv3(cp.SeqNo, cp.Digest, uint64(cp.Replica)))
+	r.recordCheckpoint(cp)
+	r.net.Broadcast(r.Addr(), r.replicaAddrs(), cp)
+}
+
+func (r *Replica) onCheckpoint(cp *Checkpoint) {
+	if !r.verifyPeer(cp.Replica, cp.Auth, fnv3(cp.SeqNo, cp.Digest, uint64(cp.Replica))) {
+		return
+	}
+	r.recordCheckpoint(cp)
+}
+
+func (r *Replica) recordCheckpoint(cp *Checkpoint) {
+	if cp.SeqNo <= r.lowWater {
+		return
+	}
+	byReplica, ok := r.checkpoints[cp.SeqNo]
+	if !ok {
+		byReplica = make(map[int]uint64)
+		r.checkpoints[cp.SeqNo] = byReplica
+	}
+	byReplica[cp.Replica] = cp.Digest
+	// Count agreement on the digest this checkpoint proposes.
+	matching := 0
+	for _, d := range byReplica {
+		if d == cp.Digest {
+			matching++
+		}
+	}
+	// f+1 matching checkpoints form a weak certificate: at least one is
+	// from a correct replica, which suffices to fetch state when we have
+	// fallen behind (PBFT's state transfer).
+	if matching >= r.cfg.F+1 && cp.SeqNo > r.lastExec {
+		r.stateDigest = cp.Digest
+		r.lastExec = cp.SeqNo
+		r.stats.StateTransfers++
+	}
+	// 2f+1 matching make the checkpoint stable: the log can be trimmed.
+	if matching < r.cfg.Quorum() {
+		return
+	}
+	r.stats.CheckpointsStable++
+	r.advanceWatermark(cp.SeqNo)
+}
+
+func (r *Replica) advanceWatermark(stable uint64) {
+	if stable <= r.lowWater {
+		return
+	}
+	r.lowWater = stable
+	for seq := range r.log {
+		if seq <= stable {
+			delete(r.log, seq)
+		}
+	}
+	for seq := range r.checkpoints {
+		if seq < stable {
+			delete(r.checkpoints, seq)
+		}
+	}
+	if r.seqCounter < stable {
+		r.seqCounter = stable
+	}
+	// Window may have reopened for buffered requests.
+	if r.isPrimary() && !r.inViewChange && len(r.pending) > 0 && !r.isSlowPrimary() {
+		r.proposeBatch()
+	}
+}
+
+// --- Slow primary (Byzantine behavior) -------------------------------------
+
+func (r *Replica) armSlowTimer() {
+	if r.slowTimer != nil {
+		r.slowTimer.Stop()
+	}
+	r.slowTimer = r.eng.Schedule(r.byz.SlowInterval, r.onSlowTick)
+}
+
+// onSlowTick proposes exactly one single-request batch, then re-arms. One
+// executed request per timer period is all it takes to keep the buggy
+// single timer from ever firing (§6).
+func (r *Replica) onSlowTick() {
+	if r.crashed {
+		return
+	}
+	if !r.isSlowPrimary() {
+		return
+	}
+	if len(r.pending) > 0 {
+		req := r.pending[0]
+		r.pending = append([]*Request(nil), r.pending[1:]...)
+		if r.seqCounter+1 <= r.lowWater+r.cfg.WindowSize {
+			r.seqCounter++
+			r.sendPrePrepare(r.seqCounter, []*Request{req})
+		}
+	}
+	r.armSlowTimer()
+}

@@ -1,0 +1,261 @@
+// Package plugin provides AVD's testing-tool plugins (§3, §5 of the
+// paper). Each plugin owns the hyperspace dimensions of one testing tool
+// and implements tool-specific mutation semantics for the controller's
+// mutateDistance: a small distance makes the smallest meaningful change
+// (a Gray-code neighbor, an adjacent call number, one client more), a
+// large distance jumps far.
+//
+// Dimension names used by the cluster runner:
+//
+//	mac_mask            MAC-corruption coordinate (Gray-decoded to a mask)
+//	correct_clients     number of correct closed-loop clients
+//	malicious_clients   number of MAC-corrupting clients
+//	reorder_pct         percent of replica traffic adversarially delayed
+//	reorder_delay_ms    maximum extra delay per reordered message
+//	drop_call           call number at which a network-drop fault fires
+//	drop_len            how many consecutive sends are dropped
+//	slow_primary        0/1: replica 0 is a slow Byzantine primary
+//	collude             0/1: one malicious client colludes with it
+//	slow_interval_ms    the slow primary's proposal period
+package plugin
+
+import (
+	"math"
+	"math/rand"
+
+	"avd/internal/core"
+	"avd/internal/graycode"
+	"avd/internal/scenario"
+)
+
+// Dimension name constants shared with the cluster runner.
+const (
+	DimMACMask          = "mac_mask"
+	DimCorrectClients   = "correct_clients"
+	DimMaliciousClients = "malicious_clients"
+	DimReorderPct       = "reorder_pct"
+	DimReorderDelayMS   = "reorder_delay_ms"
+	DimDropCall         = "drop_call"
+	DimDropLen          = "drop_len"
+	DimSlowPrimary      = "slow_primary"
+	DimCollude          = "collude"
+	DimSlowIntervalMS   = "slow_interval_ms"
+)
+
+// scaledDelta converts a mutateDistance in [0,1] into a step count in
+// [1, max]: distance 0 still moves by one (a mutation must change the
+// scenario), distance 1 can jump across the whole axis.
+func scaledDelta(distance float64, max int64, rng *rand.Rand) int64 {
+	if max < 1 {
+		max = 1
+	}
+	d := int64(math.Round(distance * float64(max)))
+	if d < 1 {
+		d = 1
+	}
+	// Jitter the magnitude so repeated mutations of the same parent do
+	// not all land on the same child.
+	d = 1 + rng.Int63n(d)
+	if rng.Intn(2) == 0 {
+		return -d
+	}
+	return d
+}
+
+// MACCorrupt is the MAC-corruption fault-injection plugin of §6. Its
+// single dimension is the 12-bit hyperspace coordinate; the effective
+// injector bitmask is the Gray encoding of the coordinate, so that
+// stepping the coordinate by one flips exactly one mask bit.
+type MACCorrupt struct {
+	// Bits is the mask width (12 in the paper). Must be in [1, 32].
+	Bits uint
+	// Binary disables the Gray encoding (coordinate used as the mask
+	// directly) — the A1 ablation.
+	Binary bool
+}
+
+// NewMACCorrupt returns the paper's 12-bit Gray-coded plugin.
+func NewMACCorrupt() *MACCorrupt { return &MACCorrupt{Bits: 12} }
+
+var _ core.Plugin = (*MACCorrupt)(nil)
+
+// Name implements core.Plugin.
+func (p *MACCorrupt) Name() string { return "maccorrupt" }
+
+// Dimensions implements core.Plugin.
+func (p *MACCorrupt) Dimensions() []scenario.Dimension {
+	return []scenario.Dimension{{
+		Name: DimMACMask,
+		Min:  0,
+		Max:  int64(uint64(1)<<p.Bits) - 1,
+		Step: 1,
+	}}
+}
+
+// Mask maps a coordinate value to the effective injector bitmask.
+func (p *MACCorrupt) Mask(coord int64) uint64 {
+	if p.Binary {
+		return uint64(coord)
+	}
+	return graycode.Encode(uint64(coord))
+}
+
+// Mutate implements core.Plugin: it steps the coordinate by a distance-
+// scaled amount, wrapping at the axis edges ("a small mutateDistance
+// entails choosing a neighboring value").
+func (p *MACCorrupt) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
+	coord := parent.GetOr(DimMACMask, 0)
+	half := int64(uint64(1) << (p.Bits - 1))
+	delta := scaledDelta(distance, half, rng)
+	next := graycode.Step(uint64(coord), p.Bits, delta)
+	return parent.With(DimMACMask, int64(next))
+}
+
+// Clients controls the deployment-shape dimensions of the PBFT
+// experiment: how many correct clients connect (10..250 step 10) and how
+// many malicious clients (1 or 2).
+type Clients struct {
+	MinCorrect, MaxCorrect, StepCorrect int64
+	MinMalicious, MaxMalicious          int64
+}
+
+// NewClients returns the paper's client dimensions.
+func NewClients() *Clients {
+	return &Clients{
+		MinCorrect: 10, MaxCorrect: 250, StepCorrect: 10,
+		MinMalicious: 1, MaxMalicious: 2,
+	}
+}
+
+var _ core.Plugin = (*Clients)(nil)
+
+// Name implements core.Plugin.
+func (p *Clients) Name() string { return "clients" }
+
+// Dimensions implements core.Plugin.
+func (p *Clients) Dimensions() []scenario.Dimension {
+	return []scenario.Dimension{
+		{Name: DimCorrectClients, Min: p.MinCorrect, Max: p.MaxCorrect, Step: p.StepCorrect},
+		{Name: DimMaliciousClients, Min: p.MinMalicious, Max: p.MaxMalicious, Step: 1},
+	}
+}
+
+// Mutate implements core.Plugin: small distances nudge the correct-client
+// count by one step; large distances jump across the range and may flip
+// the malicious-client count.
+func (p *Clients) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
+	// Strong mutations may change the malicious population too.
+	if p.MaxMalicious > p.MinMalicious && (distance > 0.5 || rng.Float64() < 0.2) {
+		cur := parent.GetOr(DimMaliciousClients, p.MinMalicious)
+		span := p.MaxMalicious - p.MinMalicious
+		next := p.MinMalicious + (cur-p.MinMalicious+1+rng.Int63n(span))%(span+1)
+		parent = parent.With(DimMaliciousClients, next)
+	}
+	steps := (p.MaxCorrect - p.MinCorrect) / p.StepCorrect
+	delta := scaledDelta(distance, steps, rng)
+	cur := parent.GetOr(DimCorrectClients, p.MinCorrect)
+	return parent.With(DimCorrectClients, cur+delta*p.StepCorrect)
+}
+
+// Reorder is the message-reordering tool of §5: it delays a fraction of
+// replica-bound traffic to scramble delivery order. mutateDistance maps
+// to the edit distance between the original and mutated delivery
+// streams: small distances tweak the reordered fraction slightly, large
+// distances rewrite both fraction and delay bound.
+type Reorder struct{}
+
+var _ core.Plugin = (*Reorder)(nil)
+
+// Name implements core.Plugin.
+func (p *Reorder) Name() string { return "reorder" }
+
+// Dimensions implements core.Plugin.
+func (p *Reorder) Dimensions() []scenario.Dimension {
+	return []scenario.Dimension{
+		{Name: DimReorderPct, Min: 0, Max: 100, Step: 5},
+		{Name: DimReorderDelayMS, Min: 0, Max: 50, Step: 5},
+	}
+}
+
+// Mutate implements core.Plugin.
+func (p *Reorder) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
+	pct := parent.GetOr(DimReorderPct, 0)
+	out := parent.With(DimReorderPct, pct+5*scaledDelta(distance, 20, rng))
+	if distance > 0.5 || rng.Float64() < 0.25 {
+		delay := out.GetOr(DimReorderDelayMS, 0)
+		out = out.With(DimReorderDelayMS, delay+5*scaledDelta(distance, 10, rng))
+	}
+	return out
+}
+
+// FaultPlan is the library-level fault-injection tool of §5 (LFI-style):
+// it drops a run of consecutive sends at a malicious client starting at a
+// given call number. Per the paper, mutateDistance is reflected in the
+// call number: "a small mutateDistance means injecting in a neighboring
+// call".
+type FaultPlan struct {
+	// MaxCall bounds the injection call number axis.
+	MaxCall int64
+}
+
+// NewFaultPlan returns the plugin with the paper-sized 4096-call axis.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{MaxCall: 4095} }
+
+var _ core.Plugin = (*FaultPlan)(nil)
+
+// Name implements core.Plugin.
+func (p *FaultPlan) Name() string { return "faultplan" }
+
+// Dimensions implements core.Plugin.
+func (p *FaultPlan) Dimensions() []scenario.Dimension {
+	return []scenario.Dimension{
+		{Name: DimDropCall, Min: 0, Max: p.MaxCall, Step: 1},
+		{Name: DimDropLen, Min: 0, Max: 16, Step: 1},
+	}
+}
+
+// Mutate implements core.Plugin.
+func (p *FaultPlan) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
+	call := parent.GetOr(DimDropCall, 0)
+	out := parent.With(DimDropCall, call+scaledDelta(distance, p.MaxCall/2, rng))
+	if distance > 0.5 || rng.Float64() < 0.25 {
+		n := out.GetOr(DimDropLen, 0)
+		out = out.With(DimDropLen, n+scaledDelta(distance, 8, rng))
+	}
+	return out
+}
+
+// SlowPrimary synthesizes the replica-side behavior of §6's second bug: a
+// Byzantine primary pacing execution against the view-change timer,
+// optionally colluding with a malicious client.
+type SlowPrimary struct{}
+
+var _ core.Plugin = (*SlowPrimary)(nil)
+
+// Name implements core.Plugin.
+func (p *SlowPrimary) Name() string { return "slowprimary" }
+
+// Dimensions implements core.Plugin.
+func (p *SlowPrimary) Dimensions() []scenario.Dimension {
+	return []scenario.Dimension{
+		{Name: DimSlowPrimary, Min: 0, Max: 1, Step: 1},
+		{Name: DimCollude, Min: 0, Max: 1, Step: 1},
+		{Name: DimSlowIntervalMS, Min: 100, Max: 5000, Step: 100},
+	}
+}
+
+// Mutate implements core.Plugin: small distances tune the pacing
+// interval; large distances flip the behavior switches.
+func (p *SlowPrimary) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
+	out := parent
+	switch {
+	case distance > 0.66:
+		out = out.With(DimSlowPrimary, 1-out.GetOr(DimSlowPrimary, 0))
+	case distance > 0.33 && rng.Intn(2) == 0:
+		out = out.With(DimCollude, 1-out.GetOr(DimCollude, 0))
+	default:
+		cur := out.GetOr(DimSlowIntervalMS, 100)
+		out = out.With(DimSlowIntervalMS, cur+100*scaledDelta(distance, 24, rng))
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+// Package scenario models AVD's hyperspace of test parameters (§3 of the
+// paper): each dimension is the set of values one test-tool parameter can
+// take, a scenario is one point of the composed hyperspace, and running a
+// test maps a scenario to an impact measurement.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Dimension is one axis of the hyperspace: an inclusive integer range
+// [Min, Max] sampled at multiples of Step from Min.
+type Dimension struct {
+	Name string
+	Min  int64
+	Max  int64
+	Step int64
+}
+
+// Validate reports structural problems with the dimension.
+func (d Dimension) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("scenario: dimension with empty name")
+	}
+	if d.Step < 1 {
+		return fmt.Errorf("scenario: dimension %q step %d must be >= 1", d.Name, d.Step)
+	}
+	if d.Max < d.Min {
+		return fmt.Errorf("scenario: dimension %q has max %d < min %d", d.Name, d.Max, d.Min)
+	}
+	return nil
+}
+
+// Count returns the number of values on the axis.
+func (d Dimension) Count() int64 { return (d.Max-d.Min)/d.Step + 1 }
+
+// Clamp snaps v onto the axis: into [Min, Max] and onto the step grid.
+func (d Dimension) Clamp(v int64) int64 {
+	if v < d.Min {
+		return d.Min
+	}
+	if v > d.Max {
+		v = d.Max
+	}
+	return d.Min + (v-d.Min)/d.Step*d.Step
+}
+
+// Value returns the i-th value on the axis (i in [0, Count)).
+func (d Dimension) Value(i int64) int64 { return d.Min + i*d.Step }
+
+// Index returns the axis index of value v (after clamping).
+func (d Dimension) Index(v int64) int64 { return (d.Clamp(v) - d.Min) / d.Step }
+
+// Random returns a uniformly random value on the axis.
+func (d Dimension) Random(rng *rand.Rand) int64 {
+	return d.Value(rng.Int63n(d.Count()))
+}
+
+// Space is an immutable composition of dimensions.
+type Space struct {
+	dims  []Dimension
+	index map[string]int
+}
+
+// NewSpace composes dimensions into a hyperspace. Dimension names must be
+// unique.
+func NewSpace(dims ...Dimension) (*Space, error) {
+	s := &Space{index: make(map[string]int, len(dims))}
+	for _, d := range dims {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.index[d.Name]; dup {
+			return nil, fmt.Errorf("scenario: duplicate dimension %q", d.Name)
+		}
+		s.index[d.Name] = len(s.dims)
+		s.dims = append(s.dims, d)
+	}
+	if len(s.dims) == 0 {
+		return nil, fmt.Errorf("scenario: space needs at least one dimension")
+	}
+	return s, nil
+}
+
+// MustNewSpace is NewSpace that panics on error, for static space tables.
+func MustNewSpace(dims ...Dimension) *Space {
+	s, err := NewSpace(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dimensions returns a copy of the space's dimensions.
+func (s *Space) Dimensions() []Dimension {
+	cp := make([]Dimension, len(s.dims))
+	copy(cp, s.dims)
+	return cp
+}
+
+// Dim looks a dimension up by name.
+func (s *Space) Dim(name string) (Dimension, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return Dimension{}, false
+	}
+	return s.dims[i], true
+}
+
+// Size returns the number of points in the hyperspace (the paper's
+// 4,096 x 25 x 2 = 204,800 for the PBFT experiment).
+func (s *Space) Size() uint64 {
+	size := uint64(1)
+	for _, d := range s.dims {
+		size *= uint64(d.Count())
+	}
+	return size
+}
+
+// Random draws a uniform random scenario.
+func (s *Space) Random(rng *rand.Rand) Scenario {
+	vals := make([]int64, len(s.dims))
+	for i, d := range s.dims {
+		vals[i] = d.Random(rng)
+	}
+	return Scenario{space: s, values: vals}
+}
+
+// At builds the scenario at the given per-dimension axis indices (for
+// exhaustive grid iteration). Indices out of range are clamped.
+func (s *Space) At(indices []int64) Scenario {
+	vals := make([]int64, len(s.dims))
+	for i, d := range s.dims {
+		var idx int64
+		if i < len(indices) {
+			idx = indices[i]
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= d.Count() {
+			idx = d.Count() - 1
+		}
+		vals[i] = d.Value(idx)
+	}
+	return Scenario{space: s, values: vals}
+}
+
+// New builds a scenario from explicit dimension values (clamped onto the
+// axes); unset dimensions take their minimum.
+func (s *Space) New(values map[string]int64) Scenario {
+	vals := make([]int64, len(s.dims))
+	for i, d := range s.dims {
+		vals[i] = d.Min
+		if v, ok := values[d.Name]; ok {
+			vals[i] = d.Clamp(v)
+		}
+	}
+	return Scenario{space: s, values: vals}
+}
+
+// Enumerate calls fn for every point of the space in lexicographic axis
+// order, stopping early if fn returns false.
+func (s *Space) Enumerate(fn func(Scenario) bool) {
+	indices := make([]int64, len(s.dims))
+	for {
+		if !fn(s.At(indices)) {
+			return
+		}
+		i := len(indices) - 1
+		for i >= 0 {
+			indices[i]++
+			if indices[i] < s.dims[i].Count() {
+				break
+			}
+			indices[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// Scenario is one immutable point of a hyperspace.
+type Scenario struct {
+	space  *Space
+	values []int64
+}
+
+// Space returns the hyperspace the scenario belongs to.
+func (sc Scenario) Space() *Space { return sc.space }
+
+// Valid reports whether the scenario is bound to a space.
+func (sc Scenario) Valid() bool { return sc.space != nil }
+
+// Get returns the value of the named dimension; ok is false if the
+// dimension does not exist in the scenario's space.
+func (sc Scenario) Get(name string) (int64, bool) {
+	if sc.space == nil {
+		return 0, false
+	}
+	i, ok := sc.space.index[name]
+	if !ok {
+		return 0, false
+	}
+	return sc.values[i], true
+}
+
+// GetOr returns the named dimension's value or def when absent.
+func (sc Scenario) GetOr(name string, def int64) int64 {
+	if v, ok := sc.Get(name); ok {
+		return v
+	}
+	return def
+}
+
+// With returns a copy of the scenario with the named dimension set to v
+// (clamped). Unknown names return the scenario unchanged.
+func (sc Scenario) With(name string, v int64) Scenario {
+	if sc.space == nil {
+		return sc
+	}
+	i, ok := sc.space.index[name]
+	if !ok {
+		return sc
+	}
+	vals := make([]int64, len(sc.values))
+	copy(vals, sc.values)
+	vals[i] = sc.space.dims[i].Clamp(v)
+	return Scenario{space: sc.space, values: vals}
+}
+
+// Key returns a canonical string identifying the scenario, used as the
+// Ω-history deduplication key (Algorithm 1, line 5).
+func (sc Scenario) Key() string {
+	if sc.space == nil {
+		return ""
+	}
+	parts := make([]string, len(sc.values))
+	for i, d := range sc.space.dims {
+		parts[i] = fmt.Sprintf("%s=%d", d.Name, sc.values[i])
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// String formats the scenario for humans.
+func (sc Scenario) String() string { return sc.Key() }

@@ -1,0 +1,230 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func paperSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(
+		Dimension{Name: "mac_mask", Min: 0, Max: 4095, Step: 1},
+		Dimension{Name: "correct_clients", Min: 10, Max: 250, Step: 10},
+		Dimension{Name: "malicious_clients", Min: 1, Max: 2, Step: 1},
+	)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	return s
+}
+
+func TestPaperSpaceSize(t *testing.T) {
+	// §6: 4,096 * 25 * 2 = 204,800 possible scenarios.
+	if got := paperSpace(t).Size(); got != 204800 {
+		t.Errorf("Size() = %d, want 204800", got)
+	}
+}
+
+func TestDimensionCount(t *testing.T) {
+	tests := []struct {
+		d    Dimension
+		want int64
+	}{
+		{Dimension{Name: "a", Min: 0, Max: 4095, Step: 1}, 4096},
+		{Dimension{Name: "b", Min: 10, Max: 250, Step: 10}, 25},
+		{Dimension{Name: "c", Min: 1, Max: 2, Step: 1}, 2},
+		{Dimension{Name: "d", Min: 5, Max: 5, Step: 1}, 1},
+		{Dimension{Name: "e", Min: 0, Max: 10, Step: 3}, 4}, // 0,3,6,9
+	}
+	for _, tt := range tests {
+		if got := tt.d.Count(); got != tt.want {
+			t.Errorf("%s.Count() = %d, want %d", tt.d.Name, got, tt.want)
+		}
+	}
+}
+
+func TestDimensionClamp(t *testing.T) {
+	d := Dimension{Name: "clients", Min: 10, Max: 250, Step: 10}
+	tests := []struct{ in, want int64 }{
+		{5, 10}, {10, 10}, {14, 10}, {15, 10}, {20, 20},
+		{999, 250}, {251, 250}, {-3, 10}, {105, 100},
+	}
+	for _, tt := range tests {
+		if got := d.Clamp(tt.in); got != tt.want {
+			t.Errorf("Clamp(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	d := Dimension{Name: "x", Min: -20, Max: 1000, Step: 7}
+	if err := quick.Check(func(v int64) bool {
+		c := d.Clamp(v)
+		return c >= d.Min && c <= d.Max && (c-d.Min)%d.Step == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomStaysOnAxis(t *testing.T) {
+	d := Dimension{Name: "x", Min: 10, Max: 250, Step: 10}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := d.Random(rng)
+		if v < 10 || v > 250 || v%10 != 0 {
+			t.Fatalf("Random produced off-axis value %d", v)
+		}
+	}
+}
+
+func TestSpaceRejectsBadDimensions(t *testing.T) {
+	cases := [][]Dimension{
+		{},
+		{{Name: "", Min: 0, Max: 1, Step: 1}},
+		{{Name: "a", Min: 0, Max: 1, Step: 0}},
+		{{Name: "a", Min: 5, Max: 1, Step: 1}},
+		{{Name: "a", Min: 0, Max: 1, Step: 1}, {Name: "a", Min: 0, Max: 1, Step: 1}},
+	}
+	for i, dims := range cases {
+		if _, err := NewSpace(dims...); err == nil {
+			t.Errorf("case %d: bad space accepted", i)
+		}
+	}
+}
+
+func TestScenarioGetWith(t *testing.T) {
+	s := paperSpace(t)
+	sc := s.New(map[string]int64{"mac_mask": 100, "correct_clients": 50})
+	if v, _ := sc.Get("mac_mask"); v != 100 {
+		t.Errorf("mac_mask = %d", v)
+	}
+	if v, _ := sc.Get("malicious_clients"); v != 1 {
+		t.Errorf("unset dimension should default to min, got %d", v)
+	}
+	sc2 := sc.With("correct_clients", 73) // clamps to 70
+	if v, _ := sc2.Get("correct_clients"); v != 70 {
+		t.Errorf("With should clamp: got %d, want 70", v)
+	}
+	if v, _ := sc.Get("correct_clients"); v != 50 {
+		t.Error("With mutated the original scenario")
+	}
+	if _, ok := sc.Get("nope"); ok {
+		t.Error("Get of unknown dimension reported ok")
+	}
+	if sc.GetOr("nope", 42) != 42 {
+		t.Error("GetOr default broken")
+	}
+	if sc3 := sc.With("nope", 1); sc3.Key() != sc.Key() {
+		t.Error("With unknown dimension should be a no-op")
+	}
+}
+
+func TestScenarioKeyCanonical(t *testing.T) {
+	s := paperSpace(t)
+	a := s.New(map[string]int64{"mac_mask": 7, "correct_clients": 30, "malicious_clients": 2})
+	b := s.New(map[string]int64{"malicious_clients": 2, "correct_clients": 30, "mac_mask": 7})
+	if a.Key() != b.Key() {
+		t.Errorf("same point, different keys: %q vs %q", a.Key(), b.Key())
+	}
+	c := a.With("mac_mask", 8)
+	if a.Key() == c.Key() {
+		t.Error("different points share a key")
+	}
+}
+
+func TestZeroScenario(t *testing.T) {
+	var sc Scenario
+	if sc.Valid() {
+		t.Error("zero scenario reports valid")
+	}
+	if sc.Key() != "" {
+		t.Error("zero scenario key should be empty")
+	}
+	if _, ok := sc.Get("x"); ok {
+		t.Error("zero scenario Get reported ok")
+	}
+	if sc.With("x", 1).Valid() {
+		t.Error("With on zero scenario should stay invalid")
+	}
+}
+
+func TestEnumerateVisitsEveryPointOnce(t *testing.T) {
+	s, err := NewSpace(
+		Dimension{Name: "a", Min: 0, Max: 3, Step: 1},
+		Dimension{Name: "b", Min: 10, Max: 30, Step: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	s.Enumerate(func(sc Scenario) bool {
+		key := sc.Key()
+		if seen[key] {
+			t.Fatalf("Enumerate visited %s twice", key)
+		}
+		seen[key] = true
+		return true
+	})
+	if len(seen) != int(s.Size()) {
+		t.Errorf("Enumerate visited %d points, space has %d", len(seen), s.Size())
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	s := paperSpace(t)
+	count := 0
+	s.Enumerate(func(Scenario) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop after %d points, want 10", count)
+	}
+}
+
+func TestAtClampsIndices(t *testing.T) {
+	s := paperSpace(t)
+	sc := s.At([]int64{99999, -5})
+	if v, _ := sc.Get("mac_mask"); v != 4095 {
+		t.Errorf("At should clamp high index: %d", v)
+	}
+	if v, _ := sc.Get("correct_clients"); v != 10 {
+		t.Errorf("At should clamp low index: %d", v)
+	}
+	if v, _ := sc.Get("malicious_clients"); v != 1 {
+		t.Errorf("At with missing index should use min: %d", v)
+	}
+}
+
+func TestDimLookup(t *testing.T) {
+	s := paperSpace(t)
+	d, ok := s.Dim("correct_clients")
+	if !ok || d.Max != 250 {
+		t.Errorf("Dim lookup failed: %+v %v", d, ok)
+	}
+	if _, ok := s.Dim("missing"); ok {
+		t.Error("Dim of missing name reported ok")
+	}
+}
+
+func TestDimensionsReturnsCopy(t *testing.T) {
+	s := paperSpace(t)
+	dims := s.Dimensions()
+	dims[0].Name = "mutated"
+	if d, _ := s.Dim("mac_mask"); d.Name != "mac_mask" {
+		t.Error("Dimensions() exposed internal storage")
+	}
+}
+
+func TestRandomScenarioIsUniformlyOnGrid(t *testing.T) {
+	s := paperSpace(t)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		sc := s.Random(rng)
+		cc, _ := sc.Get("correct_clients")
+		if cc < 10 || cc > 250 || cc%10 != 0 {
+			t.Fatalf("random scenario off grid: %s", sc)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(3*time.Millisecond) {
+		t.Errorf("Now() = %v, want 3ms", e.Now())
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	fired := false
+	timer := e.Schedule(time.Millisecond, func() { fired = true })
+	if !timer.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !timer.Stop() {
+		t.Fatal("Stop on pending timer should return true")
+	}
+	if timer.Stop() {
+		t.Error("second Stop should return false")
+	}
+	e.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if timer.Active() {
+		t.Error("stopped timer reports active")
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	e := New(1)
+	timer := e.Schedule(0, func() {})
+	e.Run()
+	if timer.Stop() {
+		t.Error("Stop after fire should return false")
+	}
+}
+
+func TestStopNilTimer(t *testing.T) {
+	var timer *Timer
+	if timer.Stop() {
+		t.Error("Stop on nil timer should return false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(Time(3 * time.Millisecond))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before t=3ms, want 2", len(fired))
+	}
+	if e.Now() != Time(3*time.Millisecond) {
+		t.Errorf("Now() = %v after RunUntil(3ms)", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Errorf("fired %d events total, want 3", len(fired))
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Millisecond, func() {
+		fired := false
+		e.Schedule(-time.Hour, func() { fired = true })
+		// The clamped event must run in this same instant; step once.
+		if !e.Step() {
+			t.Fatal("expected a pending event")
+		}
+		if !fired {
+			t.Error("negative-delay event did not fire immediately")
+		}
+		if e.Now() != Time(time.Millisecond) {
+			t.Errorf("clock moved backwards: %v", e.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Microsecond, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if e.Executed() != 100 {
+		t.Errorf("Executed() = %d, want 100", e.Executed())
+	}
+}
+
+func TestStopAndResume(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d after Stop, want 2", count)
+	}
+	e.Resume()
+	e.Run()
+	if count != 5 {
+		t.Errorf("count = %d after Resume+Run, want 5", count)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := New(42)
+		var trace []int64
+		var tick func()
+		n := 0
+		tick = func() {
+			trace = append(trace, int64(e.Now()))
+			n++
+			if n < 50 {
+				e.Schedule(time.Duration(e.Rand().Int63n(1000))*time.Microsecond, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var t0 Time
+	t1 := t0.Add(1500 * time.Millisecond)
+	if t1.Seconds() != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", t1.Seconds())
+	}
+	if t1.Sub(t0) != 1500*time.Millisecond {
+		t.Errorf("Sub = %v", t1.Sub(t0))
+	}
+}
+
+func TestRunForAdvancesClockWithoutEvents(t *testing.T) {
+	e := New(1)
+	e.RunFor(2 * time.Second)
+	if e.Now() != Time(2*time.Second) {
+		t.Errorf("Now() = %v, want 2s", e.Now())
+	}
+}

@@ -1,0 +1,56 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Reorderer is an adversarial message-reordering interceptor, the
+// "message reordering" testing tool of the paper (§5). It delays a
+// configurable fraction of matching messages by a pseudo-random amount,
+// scrambling their arrival order relative to the send order. Intensity
+// maps to the paper's mutateDistance semantics for this tool: a stronger
+// setting yields a larger edit (Levenshtein) distance between the sent and
+// the delivered message streams.
+type Reorderer struct {
+	// Fraction in [0,1] of matching messages to delay.
+	Fraction float64
+	// MaxDelay bounds the extra delay added to a delayed message.
+	MaxDelay time.Duration
+	// Filter restricts reordering to matching messages; nil matches all.
+	Filter func(m *Message) bool
+
+	rng *rand.Rand
+}
+
+var _ Interceptor = (*Reorderer)(nil)
+
+// NewReorderer returns a reorderer with its own deterministic random
+// stream, independent from the network's.
+func NewReorderer(seed int64, fraction float64, maxDelay time.Duration) *Reorderer {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	return &Reorderer{
+		Fraction: fraction,
+		MaxDelay: maxDelay,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Intercept implements Interceptor.
+func (r *Reorderer) Intercept(m *Message) Verdict {
+	if r.Fraction <= 0 || r.MaxDelay <= 0 {
+		return VerdictDeliver
+	}
+	if r.Filter != nil && !r.Filter(m) {
+		return VerdictDeliver
+	}
+	if r.rng.Float64() < r.Fraction {
+		m.ExtraDelay += time.Duration(r.rng.Int63n(int64(r.MaxDelay)))
+	}
+	return VerdictDeliver
+}

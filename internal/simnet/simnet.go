@@ -1,0 +1,257 @@
+// Package simnet provides a simulated message-passing network on top of
+// the sim discrete-event engine.
+//
+// The network delivers opaque payloads between node addresses with
+// configurable one-way latency, jitter, and loss; supports partitions and
+// per-link overrides; and exposes an interceptor chain through which AVD's
+// testing tools exercise the control the paper grants attackers over the
+// network ("attackers can be assumed to exercise some sort of control over
+// the network", §2): dropping, delaying, reordering or mutating messages
+// in flight.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"avd/internal/sim"
+)
+
+// Addr identifies a node on the network.
+type Addr int
+
+// String formats the address.
+func (a Addr) String() string { return fmt.Sprintf("node%d", int(a)) }
+
+// Handler receives a delivered message. Handlers run on the engine
+// goroutine; they may send messages and schedule timers but must not block.
+type Handler func(from Addr, payload any)
+
+// Message is a message in flight, visible to interceptors before its
+// delivery is scheduled. Interceptors may mutate Payload and ExtraDelay.
+type Message struct {
+	From    Addr
+	To      Addr
+	Payload any
+	// SendTime is the virtual time at which Send was called.
+	SendTime sim.Time
+	// ExtraDelay is added to the link latency; interceptors add here to
+	// delay (and thereby reorder) traffic.
+	ExtraDelay time.Duration
+}
+
+// Verdict is an interceptor's ruling on a message.
+type Verdict int
+
+// Verdicts. VerdictDeliver passes the message on (possibly mutated);
+// VerdictDrop discards it silently.
+const (
+	VerdictDeliver Verdict = iota + 1
+	VerdictDrop
+)
+
+// Interceptor inspects (and may mutate) every message sent through the
+// network. Interceptors run in registration order; the first VerdictDrop
+// wins.
+type Interceptor interface {
+	Intercept(m *Message) Verdict
+}
+
+// InterceptorFunc adapts a function to the Interceptor interface.
+type InterceptorFunc func(m *Message) Verdict
+
+// Intercept implements Interceptor.
+func (f InterceptorFunc) Intercept(m *Message) Verdict { return f(m) }
+
+// Config holds network-wide parameters. The zero value is a perfect
+// network: zero latency, no jitter, no loss.
+type Config struct {
+	// BaseLatency is the one-way delivery latency of every link.
+	BaseLatency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per message;
+	// nonzero jitter therefore reorders messages on a link.
+	Jitter time.Duration
+	// DropRate is the probability in [0,1] that a message is lost.
+	DropRate float64
+}
+
+// Stats counts network activity since creation.
+type Stats struct {
+	Sent        uint64
+	Delivered   uint64
+	Dropped     uint64 // by DropRate or interceptor verdicts
+	Partitioned uint64 // blocked by a partition
+}
+
+// Network is a simulated network. It is not safe for concurrent use; all
+// calls must happen on the engine goroutine.
+type Network struct {
+	eng          *sim.Engine
+	cfg          Config
+	handlers     map[Addr]Handler
+	interceptors []Interceptor
+	linkLatency  map[linkKey]time.Duration
+	blocked      map[linkKey]bool
+	stats        Stats
+	closed       bool
+}
+
+type linkKey struct{ from, to Addr }
+
+// New returns a network running on eng with the given config.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.DropRate < 0 {
+		cfg.DropRate = 0
+	}
+	if cfg.DropRate > 1 {
+		cfg.DropRate = 1
+	}
+	return &Network{
+		eng:         eng,
+		cfg:         cfg,
+		handlers:    make(map[Addr]Handler),
+		linkLatency: make(map[linkKey]time.Duration),
+		blocked:     make(map[linkKey]bool),
+	}
+}
+
+// Engine returns the underlying event engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Handle registers the delivery handler for addr, replacing any previous
+// handler. Messages to an address with no handler are counted as dropped.
+func (n *Network) Handle(addr Addr, h Handler) { n.handlers[addr] = h }
+
+// AddInterceptor appends an interceptor to the chain.
+func (n *Network) AddInterceptor(i Interceptor) {
+	n.interceptors = append(n.interceptors, i)
+}
+
+// SetLinkLatency overrides the one-way latency of the directed link
+// from->to. A negative latency removes the override.
+func (n *Network) SetLinkLatency(from, to Addr, d time.Duration) {
+	k := linkKey{from, to}
+	if d < 0 {
+		delete(n.linkLatency, k)
+		return
+	}
+	n.linkLatency[k] = d
+}
+
+// Block severs the directed link from->to until Unblock.
+func (n *Network) Block(from, to Addr) { n.blocked[linkKey{from, to}] = true }
+
+// Unblock restores the directed link from->to.
+func (n *Network) Unblock(from, to Addr) { delete(n.blocked, linkKey{from, to}) }
+
+// BlockPair severs both directions between a and b.
+func (n *Network) BlockPair(a, b Addr) {
+	n.Block(a, b)
+	n.Block(b, a)
+}
+
+// UnblockPair restores both directions between a and b.
+func (n *Network) UnblockPair(a, b Addr) {
+	n.Unblock(a, b)
+	n.Unblock(b, a)
+}
+
+// Partition splits the given groups from each other: traffic within a
+// group flows, traffic between groups is blocked. It clears previous
+// pairwise blocks between listed nodes first.
+func (n *Network) Partition(groups ...[]Addr) {
+	group := make(map[Addr]int)
+	for gi, g := range groups {
+		for _, a := range g {
+			group[a] = gi
+		}
+	}
+	for _, ga := range groups {
+		for _, a := range ga {
+			for _, gb := range groups {
+				for _, b := range gb {
+					if a == b {
+						continue
+					}
+					if group[a] == group[b] {
+						n.Unblock(a, b)
+					} else {
+						n.Block(a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Heal removes all blocks.
+func (n *Network) Heal() { n.blocked = make(map[linkKey]bool) }
+
+// Close stops all future deliveries (messages in flight are discarded at
+// delivery time).
+func (n *Network) Close() { n.closed = true }
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Send transmits payload from->to. Delivery is scheduled after the link
+// latency plus jitter plus any interceptor-added delay. Send never blocks.
+func (n *Network) Send(from, to Addr, payload any) {
+	if n.closed {
+		return
+	}
+	n.stats.Sent++
+	if n.blocked[linkKey{from, to}] {
+		n.stats.Partitioned++
+		return
+	}
+	m := &Message{From: from, To: to, Payload: payload, SendTime: n.eng.Now()}
+	for _, ic := range n.interceptors {
+		if ic.Intercept(m) == VerdictDrop {
+			n.stats.Dropped++
+			return
+		}
+	}
+	if n.cfg.DropRate > 0 && n.eng.Rand().Float64() < n.cfg.DropRate {
+		n.stats.Dropped++
+		return
+	}
+	d := n.cfg.BaseLatency
+	if override, ok := n.linkLatency[linkKey{from, to}]; ok {
+		d = override
+	}
+	if n.cfg.Jitter > 0 {
+		d += time.Duration(n.eng.Rand().Int63n(int64(n.cfg.Jitter)))
+	}
+	d += m.ExtraDelay
+	n.eng.Schedule(d, func() { n.deliver(m) })
+}
+
+// Broadcast sends payload from->each address in tos (skipping from).
+func (n *Network) Broadcast(from Addr, tos []Addr, payload any) {
+	for _, to := range tos {
+		if to == from {
+			continue
+		}
+		n.Send(from, to, payload)
+	}
+}
+
+func (n *Network) deliver(m *Message) {
+	if n.closed {
+		return
+	}
+	// Re-check the partition at delivery time: messages in flight when a
+	// partition forms are lost, matching the usual fail-stop link model.
+	if n.blocked[linkKey{m.From, m.To}] {
+		n.stats.Partitioned++
+		return
+	}
+	h, ok := n.handlers[m.To]
+	if !ok {
+		n.stats.Dropped++
+		return
+	}
+	n.stats.Delivered++
+	h(m.From, m.Payload)
+}

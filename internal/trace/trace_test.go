@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"avd/internal/core"
+	"avd/internal/plugin"
+	"avd/internal/scenario"
+)
+
+func sampleResults(t *testing.T) []core.Result {
+	t.Helper()
+	space, err := scenario.NewSpace(
+		scenario.Dimension{Name: plugin.DimMACMask, Min: 0, Max: 4095, Step: 1},
+		scenario.Dimension{Name: plugin.DimCorrectClients, Min: 10, Max: 250, Step: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []core.Result{
+		{
+			Scenario:           space.New(map[string]int64{plugin.DimMACMask: 5, plugin.DimCorrectClients: 20}),
+			Impact:             0.2,
+			Throughput:         4000,
+			BaselineThroughput: 5000,
+			AvgLatency:         5 * time.Millisecond,
+			Generator:          "seed",
+		},
+		{
+			Scenario:           space.New(map[string]int64{plugin.DimMACMask: 9, plugin.DimCorrectClients: 40}),
+			Impact:             0.95,
+			Throughput:         300,
+			BaselineThroughput: 9000,
+			AvgLatency:         800 * time.Millisecond,
+			CrashedReplicas:    2,
+			ViewChanges:        3,
+			Generator:          "mutate:maccorrupt",
+		},
+	}
+}
+
+func TestWriteCampaignCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCampaignCSV(&sb, "avd", sampleResults(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "strategy,iteration,") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "0.9500") || !strings.Contains(lines[2], "mutate:maccorrupt") {
+		t.Errorf("row 2 lacks impact/generator: %q", lines[2])
+	}
+}
+
+func TestSeriesSelectors(t *testing.T) {
+	results := sampleResults(t)
+	if got := Series(results, Impact); got[0] != 0.2 || got[1] != 0.95 {
+		t.Errorf("Impact series = %v", got)
+	}
+	if got := Series(results, Throughput); got[1] != 300 {
+		t.Errorf("Throughput series = %v", got)
+	}
+	if got := Series(results, LatencySeconds); got[1] != 0.8 {
+		t.Errorf("Latency series = %v", got)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var sb strings.Builder
+	RenderSeries(&sb, "title", "unit", []string{"a", "b"},
+		[][]float64{{1, 2, 3, 4}, {4, 3, 2, 1}}, 4)
+	out := sb.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "r") {
+		t.Error("missing series marks")
+	}
+	if !strings.Contains(out, "iterations 1..4") {
+		t.Error("missing x-axis label")
+	}
+}
+
+func TestRenderSeriesEmpty(t *testing.T) {
+	var sb strings.Builder
+	RenderSeries(&sb, "t", "u", nil, nil, 4)
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Error("empty series should render a placeholder")
+	}
+}
+
+func heatCells() []HeatCell {
+	mk := func(x, y int64, tput, base float64) HeatCell {
+		return HeatCell{X: x, Y: y, Result: core.Result{Throughput: tput, BaselineThroughput: base}}
+	}
+	return []HeatCell{
+		mk(0, 20, 5000, 5000), mk(0, 40, 9000, 9000),
+		mk(1, 20, 100, 5000), mk(1, 40, 200, 9000), // fully dark column
+		mk(2, 20, 3000, 5000), mk(2, 40, 400, 9000), // half dark
+	}
+}
+
+func TestHeatMapDarkCount(t *testing.T) {
+	hm := NewHeatMap(heatCells())
+	if got := hm.DarkCount(500); got != 3 {
+		t.Errorf("DarkCount = %d, want 3", got)
+	}
+}
+
+func TestHeatMapDarkColumns(t *testing.T) {
+	hm := NewHeatMap(heatCells())
+	full := hm.DarkColumns(500, 0.99)
+	if len(full) != 1 || full[0] != 1 {
+		t.Errorf("fully-dark columns = %v, want [1]", full)
+	}
+	half := hm.DarkColumns(500, 0.5)
+	if len(half) != 2 {
+		t.Errorf("half-dark columns = %v, want 2 columns", half)
+	}
+}
+
+func TestHeatMapRender(t *testing.T) {
+	var sb strings.Builder
+	hm := NewHeatMap(heatCells())
+	hm.Render(&sb, 500, 16)
+	out := sb.String()
+	if !strings.Contains(out, "#") {
+		t.Error("render lacks dark glyphs")
+	}
+	if !strings.Contains(out, "40 |") || !strings.Contains(out, "20 |") {
+		t.Error("render lacks y-axis rows")
+	}
+}
+
+func TestHeatMapRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	NewHeatMap(nil).Render(&sb, 500, 10)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Error("empty heat map should say so")
+	}
+}
+
+func TestWriteHeatCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteHeatCSV(&sb, heatCells()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("CSV lines = %d, want header + 6", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "mac_mask,correct_clients,") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+}
+
+func TestSummarizeCampaign(t *testing.T) {
+	var sb strings.Builder
+	SummarizeCampaign(&sb, "avd", sampleResults(t))
+	out := sb.String()
+	if !strings.Contains(out, "best impact 0.950") {
+		t.Errorf("summary lacks best impact: %q", out)
+	}
+	if !strings.Contains(out, "reached at test 2") {
+		t.Errorf("summary lacks tests-to-impact: %q", out)
+	}
+	sb.Reset()
+	SummarizeCampaign(&sb, "none", nil)
+	if !strings.Contains(sb.String(), "no tests") {
+		t.Error("empty campaign summary missing")
+	}
+}
+
+func TestFormatScenarioMask(t *testing.T) {
+	res := sampleResults(t)[0] // coord 5
+	gray := FormatScenarioMask(res, true)
+	if !strings.Contains(gray, "coord=5") || !strings.Contains(gray, "0x007") {
+		t.Errorf("gray format = %q (Encode(5)=7)", gray)
+	}
+	bin := FormatScenarioMask(res, false)
+	if !strings.Contains(bin, "0x005") {
+		t.Errorf("binary format = %q", bin)
+	}
+}
