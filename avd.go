@@ -61,6 +61,9 @@ type (
 	GeneticConfig = core.GeneticConfig
 	// Scenario is one point of the test-parameter hyperspace.
 	Scenario = scenario.Scenario
+	// CompactKey is the packed, allocation-free scenario identity used
+	// by the hot dedup paths.
+	CompactKey = scenario.CompactKey
 	// Space is a composed hyperspace.
 	Space = scenario.Space
 	// Dimension is one axis of the hyperspace.
@@ -105,6 +108,14 @@ func SpaceOf(plugins ...Plugin) (*Space, error) { return core.Space(plugins...) 
 // returns the executed results in order.
 func Campaign(ex Explorer, runner Runner, budget int) []Result {
 	return core.Campaign(ex, runner, budget)
+}
+
+// ParallelCampaign is Campaign with a pool of workers draining the
+// pending-test queue Ψ concurrently. Results and explorer feedback stay
+// in dispatch order, so a fixed (seed, workers) pair is deterministic
+// and workers=1 reproduces Campaign exactly. workers <= 0 uses all CPUs.
+func ParallelCampaign(ex Explorer, runner Runner, budget, workers int) []Result {
+	return core.ParallelCampaign(ex, runner, budget, workers)
 }
 
 // Sweep executes independent scenarios in parallel across workers.

@@ -75,6 +75,60 @@ func TestPublicAPIExplorers(t *testing.T) {
 	}
 }
 
+// TestPublicAPIParallelCampaign pins the parallel-engine determinism
+// contract against the real PBFT runner: one worker reproduces the
+// serial campaign exactly, and a multi-worker run reproduces itself.
+func TestPublicAPIParallelCampaign(t *testing.T) {
+	w := avd.DefaultWorkload()
+	w.Measure = 300 * time.Millisecond
+	newRunner := func() *avd.PBFTRunner {
+		runner, err := avd.NewPBFTRunner(w)
+		if err != nil {
+			t.Fatalf("NewPBFTRunner: %v", err)
+		}
+		return runner
+	}
+	newCtrl := func() *avd.Controller {
+		ctrl, err := avd.NewController(avd.ControllerConfig{Seed: 3, SeedTests: 4},
+			avd.NewMACCorruptPlugin(), avd.NewClientsPlugin())
+		if err != nil {
+			t.Fatalf("NewController: %v", err)
+		}
+		return ctrl
+	}
+	fingerprint := func(results []avd.Result) []string {
+		out := make([]string, len(results))
+		for i, r := range results {
+			out[i] = r.Scenario.Key()
+		}
+		return out
+	}
+
+	serial := avd.Campaign(newCtrl(), newRunner(), 8)
+	oneWorker := avd.ParallelCampaign(newCtrl(), newRunner(), 8, 1)
+	a, b := fingerprint(serial), fingerprint(oneWorker)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("workers=1 diverged from Campaign at test %d: %s vs %s", i, a[i], b[i])
+		}
+		if serial[i].Impact != oneWorker[i].Impact {
+			t.Fatalf("workers=1 impact diverged at test %d", i)
+		}
+	}
+
+	par1 := avd.ParallelCampaign(newCtrl(), newRunner(), 8, 4)
+	par2 := avd.ParallelCampaign(newCtrl(), newRunner(), 8, 4)
+	c, d := fingerprint(par1), fingerprint(par2)
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatalf("workers=4 nondeterministic at test %d: %s vs %s", i, c[i], d[i])
+		}
+		if par1[i].Impact != par2[i].Impact {
+			t.Fatalf("workers=4 impact nondeterministic at test %d", i)
+		}
+	}
+}
+
 // TestPublicAPIGenetic exercises the genetic explorer via the facade.
 func TestPublicAPIGenetic(t *testing.T) {
 	ga, err := avd.NewGenetic(avd.GeneticConfig{Seed: 1, Population: 6},

@@ -1,0 +1,229 @@
+// Command bench measures the repository's headline performance numbers
+// and writes them to a JSON file, seeding the BENCH_*.json performance
+// trajectory: each PR that claims a speedup appends a new snapshot, so
+// regressions are visible as a time series rather than folklore.
+//
+// Measured:
+//   - fig2_campaign: wall-clock tests/second of a Figure-2-style AVD
+//     campaign, serial (workers=1) vs parallel (-workers), on fresh
+//     runners so both pay cold baselines.
+//   - test_execution: ns/op and allocs/op of one full simulated PBFT
+//     deployment (the Big MAC scenario, baselines pre-warmed).
+//   - baseline_run: the same for an attack-free run (corruption mask 0).
+//   - scenario_key: ns/op and allocs/op of the dedup identity, string
+//     (legacy, kept for reports) vs compact (hot path).
+//   - engine_schedule: steady-state ns/op and allocs/op of one
+//     schedule+fire cycle in the discrete-event engine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"avd/internal/cluster"
+	"avd/internal/core"
+	"avd/internal/graycode"
+	"avd/internal/plugin"
+	"avd/internal/scenario"
+	"avd/internal/sim"
+)
+
+type opBench struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+type campaignBench struct {
+	Tests               int     `json:"tests"`
+	MeasureWindowMS     int64   `json:"measure_window_ms"`
+	SerialSeconds       float64 `json:"serial_seconds"`
+	SerialTestsPerSec   float64 `json:"serial_tests_per_sec"`
+	Workers             int     `json:"workers"`
+	ParallelSeconds     float64 `json:"parallel_seconds"`
+	ParallelTestsPerSec float64 `json:"parallel_tests_per_sec"`
+	Speedup             float64 `json:"speedup"`
+}
+
+type keyBench struct {
+	String  opBench `json:"string"`
+	Compact opBench `json:"compact"`
+}
+
+type report struct {
+	Schema      int           `json:"schema"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Campaign    campaignBench `json:"fig2_campaign"`
+	TestExec    opBench       `json:"test_execution"`
+	BaselineRun opBench       `json:"baseline_run"`
+	ScenarioKey keyBench      `json:"scenario_key"`
+	EngineSched opBench       `json:"engine_schedule"`
+}
+
+func toOp(r testing.BenchmarkResult) opBench {
+	return opBench{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_1.json", "output JSON file")
+		tests   = flag.Int("tests", 125, "campaign budget (Figure-2 size)")
+		workers = flag.Int("workers", runtime.NumCPU(), "parallel campaign workers")
+		measure = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
+	)
+	flag.Parse()
+
+	w := cluster.DefaultWorkload()
+	w.Measure = *measure
+	plugins := []core.Plugin{plugin.NewMACCorrupt(), plugin.NewClients()}
+	newRunner := func() *cluster.Runner {
+		r, err := cluster.NewRunner(w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return r
+	}
+	newCtrl := func() *core.Controller {
+		ctrl, err := core.NewController(core.ControllerConfig{Seed: 1, SeedTests: 10}, plugins...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return ctrl
+	}
+
+	rep := report{
+		Schema:      1,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+
+	// Campaign throughput, serial vs parallel, both on cold runners.
+	fmt.Printf("campaign: %d tests serial...\n", *tests)
+	start := time.Now()
+	core.Campaign(newCtrl(), newRunner(), *tests)
+	serial := time.Since(start)
+	fmt.Printf("campaign: %d tests with %d workers...\n", *tests, *workers)
+	start = time.Now()
+	core.ParallelCampaign(newCtrl(), newRunner(), *tests, *workers)
+	parallel := time.Since(start)
+	rep.Campaign = campaignBench{
+		Tests:               *tests,
+		MeasureWindowMS:     measure.Milliseconds(),
+		SerialSeconds:       serial.Seconds(),
+		SerialTestsPerSec:   float64(*tests) / serial.Seconds(),
+		Workers:             *workers,
+		ParallelSeconds:     parallel.Seconds(),
+		ParallelTestsPerSec: float64(*tests) / parallel.Seconds(),
+		Speedup:             serial.Seconds() / parallel.Seconds(),
+	}
+
+	// Single test execution (Big MAC) and attack-free baseline run.
+	space, err := core.Space(plugins...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	runner := newRunner()
+	bigmac := space.New(map[string]int64{
+		plugin.DimMACMask:          int64(graycode.Decode(0xEEE)),
+		plugin.DimCorrectClients:   30,
+		plugin.DimMaliciousClients: 1,
+	})
+	clean := space.New(map[string]int64{
+		plugin.DimMACMask:          0,
+		plugin.DimCorrectClients:   30,
+		plugin.DimMaliciousClients: 1,
+	})
+	runner.Baseline(30) // warm so the per-op numbers measure one deployment
+	fmt.Println("test execution micro-benchmarks...")
+	rep.TestExec = toOp(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runner.Run(bigmac)
+		}
+	}))
+	rep.BaselineRun = toOp(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runner.Run(clean)
+		}
+	}))
+
+	// Dedup identity.
+	rng := rand.New(rand.NewSource(1))
+	scs := make([]scenario.Scenario, 256)
+	for i := range scs {
+		scs[i] = space.Random(rng)
+	}
+	rep.ScenarioKey.String = toOp(testing.Benchmark(func(b *testing.B) {
+		seen := make(map[string]bool, len(scs))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seen[scs[i%len(scs)].Key()] = true
+		}
+	}))
+	rep.ScenarioKey.Compact = toOp(testing.Benchmark(func(b *testing.B) {
+		seen := make(map[scenario.CompactKey]bool, len(scs))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seen[scs[i%len(scs)].Compact()] = true
+		}
+	}))
+
+	// Engine timer churn.
+	rep.EngineSched = toOp(testing.Benchmark(func(b *testing.B) {
+		e := sim.New(1)
+		fn := func() {}
+		for i := 0; i < 1024; i++ {
+			e.Schedule(time.Duration(i), fn)
+		}
+		e.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Schedule(time.Microsecond, fn)
+			e.Step()
+		}
+	}))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\ncampaign: serial %.1fs (%.2f tests/s), %d workers %.1fs (%.2f tests/s), speedup %.2fx\n",
+		rep.Campaign.SerialSeconds, rep.Campaign.SerialTestsPerSec,
+		rep.Campaign.Workers, rep.Campaign.ParallelSeconds, rep.Campaign.ParallelTestsPerSec,
+		rep.Campaign.Speedup)
+	fmt.Printf("test execution: bigmac %.1fms/op, clean %.1fms/op\n",
+		float64(rep.TestExec.NsPerOp)/1e6, float64(rep.BaselineRun.NsPerOp)/1e6)
+	fmt.Printf("scenario key: string %dns/%d allocs, compact %dns/%d allocs\n",
+		rep.ScenarioKey.String.NsPerOp, rep.ScenarioKey.String.AllocsPerOp,
+		rep.ScenarioKey.Compact.NsPerOp, rep.ScenarioKey.Compact.AllocsPerOp)
+	fmt.Printf("engine schedule: %dns/op, %d allocs/op\n",
+		rep.EngineSched.NsPerOp, rep.EngineSched.AllocsPerOp)
+	fmt.Printf("wrote %s\n", *out)
+}

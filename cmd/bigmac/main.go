@@ -31,6 +31,7 @@ func main() {
 		discover = flag.Bool("discover", false, "run an AVD campaign to discover the attack instead")
 		budget   = flag.Int("budget", 125, "campaign budget with -discover")
 		seed     = flag.Int64("seed", 1, "seed with -discover")
+		workers  = flag.Int("workers", 1, "parallel test-execution workers with -discover (results are reproducible per seed+workers pair)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 	}
 
 	if *discover {
-		runDiscovery(runner, *budget, *seed)
+		runDiscovery(runner, *budget, *seed, *workers)
 		return
 	}
 
@@ -85,15 +86,15 @@ func main() {
 	}
 }
 
-func runDiscovery(runner *cluster.Runner, budget int, seed int64) {
+func runDiscovery(runner *cluster.Runner, budget int, seed int64, workers int) {
 	plugins := []core.Plugin{plugin.NewMACCorrupt(), plugin.NewClients()}
 	ctrl, err := core.NewController(core.ControllerConfig{Seed: seed, SeedTests: 10}, plugins...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bigmac:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("running AVD discovery campaign (budget %d, seed %d)...\n", budget, seed)
-	results := core.Campaign(ctrl, runner, budget)
+	fmt.Printf("running AVD discovery campaign (budget %d, seed %d, %d workers)...\n", budget, seed, workers)
+	results := core.ParallelCampaign(ctrl, runner, budget, workers)
 	firstDark := 0
 	for i, r := range results {
 		if r.Throughput < 500 {

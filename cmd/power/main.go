@@ -23,6 +23,7 @@ func main() {
 		seeds   = flag.Int("seeds", 5, "seeds to average over")
 		measure = flag.Duration("measure", time.Second, "virtual measurement window per test")
 		thresh  = flag.Float64("impact", 0.9, "impact threshold counting as 'vulnerability found'")
+		workers = flag.Int("workers", 1, "parallel test-execution workers per campaign (results are reproducible per seed+workers pair)")
 	)
 	flag.Parse()
 
@@ -74,7 +75,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "power:", err)
 				os.Exit(1)
 			}
-			results := core.Campaign(ctrl, runner, *budget)
+			results := core.ParallelCampaign(ctrl, runner, *budget, *workers)
 			if n := core.TestsToImpact(results, *thresh); n > 0 {
 				total += n
 				found++

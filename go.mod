@@ -1,0 +1,3 @@
+module avd
+
+go 1.24

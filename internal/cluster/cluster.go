@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -122,12 +123,21 @@ type Report struct {
 // Runner executes scenarios against a fixed workload. It caches baseline
 // (attack-free) measurements per correct-client count, as impact is
 // relative to them. Runner is safe for concurrent use by parallel
-// sweeps.
+// sweeps and campaign workers.
 type Runner struct {
-	w  Workload
-	mu sync.Mutex
-	// baselines: correct-client count -> throughput (req/s).
-	baselines map[int64]float64
+	w Workload
+	// baselines: correct-client count -> *baselineCell. Each cell is a
+	// singleflight slot, so concurrent workers needing the same missing
+	// baseline share one deterministic measurement instead of
+	// duplicating it.
+	baselines sync.Map
+}
+
+// baselineCell measures one correct-client count's attack-free
+// throughput exactly once.
+type baselineCell struct {
+	once sync.Once
+	tput float64
 }
 
 // NewRunner returns a runner for the workload.
@@ -141,7 +151,7 @@ func NewRunner(w Workload) (*Runner, error) {
 	if w.MaskBits == 0 || w.MaskBits > 32 {
 		return nil, fmt.Errorf("cluster: mask bits %d out of range [1,32]", w.MaskBits)
 	}
-	return &Runner{w: w, baselines: make(map[int64]float64)}, nil
+	return &Runner{w: w}, nil
 }
 
 // Workload returns the runner's workload.
@@ -188,27 +198,41 @@ func (r *Runner) RunReport(sc scenario.Scenario) (core.Result, Report) {
 }
 
 // Baseline returns the attack-free throughput for a correct-client
-// count, measuring and caching it on first use.
+// count, measuring and caching it on first use. Concurrent callers for
+// the same count share a single measurement; different counts measure in
+// parallel.
 func (r *Runner) Baseline(correctClients int64) float64 {
-	r.mu.Lock()
-	if tput, ok := r.baselines[correctClients]; ok {
-		r.mu.Unlock()
-		return tput
+	v, _ := r.baselines.LoadOrStore(correctClients, &baselineCell{})
+	cell := v.(*baselineCell)
+	cell.once.Do(func() {
+		empty := scenario.MustNewSpace(scenario.Dimension{
+			Name: plugin.DimCorrectClients, Min: correctClients, Max: correctClients, Step: 1,
+		}).New(nil)
+		res, _ := r.execute(empty, correctClients, false)
+		cell.tput = res.Throughput
+	})
+	return cell.tput
+}
+
+var _ core.Warmer = (*Runner)(nil)
+
+// Warm implements core.Warmer: before a batch is dispatched to parallel
+// campaign workers, measure the batch's missing baselines concurrently so
+// workers neither duplicate them nor serialize behind one another.
+func (r *Runner) Warm(batch []scenario.Scenario) {
+	counts := make(map[int64]bool, len(batch))
+	for _, sc := range batch {
+		counts[sc.GetOr(plugin.DimCorrectClients, 10)] = true
 	}
-	r.mu.Unlock()
-
-	// Measure outside the lock: baselines for different client counts
-	// may compute in parallel; duplicated work for the same count is
-	// harmless (results are deterministic and identical).
-	empty := scenario.MustNewSpace(scenario.Dimension{
-		Name: plugin.DimCorrectClients, Min: correctClients, Max: correctClients, Step: 1,
-	}).New(nil)
-	res, _ := r.execute(empty, correctClients, false)
-
-	r.mu.Lock()
-	r.baselines[correctClients] = res.Throughput
-	r.mu.Unlock()
-	return res.Throughput
+	var wg sync.WaitGroup
+	for c := range counts {
+		wg.Add(1)
+		go func(c int64) {
+			defer wg.Done()
+			r.Baseline(c)
+		}(c)
+	}
+	wg.Wait()
 }
 
 // execute builds and runs one deployment. withFaults=false strips every
@@ -264,6 +288,12 @@ func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults 
 		n    uint64
 		tail []time.Duration
 	}
+	tailBuf := tailPool.Get().(*[]time.Duration)
+	lat.tail = (*tailBuf)[:0]
+	defer func() {
+		*tailBuf = lat.tail[:0]
+		tailPool.Put(tailBuf)
+	}()
 	onComplete := func(seq uint64, latency time.Duration) {
 		if !measuring {
 			return
@@ -377,35 +407,26 @@ func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults 
 	return res, rep
 }
 
-// percentile computes the nearest-rank percentile of unsorted samples.
+// tailPool recycles latency-tail buffers across test executions: one
+// test can record tens of thousands of completions, and reusing the
+// backing arrays keeps per-execute garbage flat over long campaigns.
+var tailPool = sync.Pool{New: func() any {
+	s := make([]time.Duration, 0, 4096)
+	return &s
+}}
+
+// percentile computes the nearest-rank percentile, reordering samples in
+// place (callers are done with the tail when they ask for percentiles).
 func percentile(samples []time.Duration, p float64) time.Duration {
 	if len(samples) == 0 {
 		return 0
 	}
-	cp := make([]time.Duration, len(samples))
-	copy(cp, samples)
-	// Insertion sort is fine for the tail sizes here only when small;
-	// use a simple quicksort via sort-free heap? Keep it simple:
-	sortDurations(cp)
-	rank := int(p / 100 * float64(len(cp)))
-	if rank >= len(cp) {
-		rank = len(cp) - 1
+	slices.Sort(samples)
+	rank := int(p / 100 * float64(len(samples)))
+	if rank >= len(samples) {
+		rank = len(samples) - 1
 	}
-	return cp[rank]
-}
-
-func sortDurations(d []time.Duration) {
-	// Shell sort: dependency-free, adequate for measurement tails.
-	for gap := len(d) / 2; gap > 0; gap /= 2 {
-		for i := gap; i < len(d); i++ {
-			v := d[i]
-			j := i
-			for ; j >= gap && d[j-gap] > v; j -= gap {
-				d[j] = d[j-gap]
-			}
-			d[j] = v
-		}
-	}
+	return samples[rank]
 }
 
 // dropWindow drops sends from one address for call numbers in

@@ -163,11 +163,11 @@ type Controller struct {
 	plugins []Plugin
 	rng     *rand.Rand
 
-	top      []Result               // Π, sorted by impact descending
-	history  map[string]bool        // Ω keys (includes queued, per line 5)
-	queue    []scenario.Scenario    // Ψ
-	meta     map[string]pendingMeta // generation metadata by scenario key
-	maxSeen  float64                // µ
+	top      []Result                            // Π, sorted by impact descending
+	history  map[scenario.CompactKey]bool        // Ω keys (includes queued, per line 5)
+	queue    []scenario.Scenario                 // Ψ
+	meta     map[scenario.CompactKey]pendingMeta // generation metadata by scenario key
+	maxSeen  float64                             // µ
 	stats    []pluginStat
 	executed int
 
@@ -192,8 +192,8 @@ func NewController(cfg ControllerConfig, plugins ...Plugin) (*Controller, error)
 		space:   space,
 		plugins: plugins,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		history: make(map[string]bool),
-		meta:    make(map[string]pendingMeta),
+		history: make(map[scenario.CompactKey]bool),
+		meta:    make(map[scenario.CompactKey]pendingMeta),
 		stats:   make([]pluginStat, len(plugins)),
 	}, nil
 }
@@ -234,7 +234,7 @@ func (c *Controller) Next() (scenario.Scenario, string, bool) {
 	}
 	sc := c.queue[0]
 	c.queue = c.queue[1:]
-	m := c.meta[sc.Key()]
+	m := c.meta[sc.Compact()]
 	return sc, m.generator, true
 }
 
@@ -259,7 +259,7 @@ func (c *Controller) generate() {
 		pluginIdx := c.samplePlugin()                                          // line 2
 		distance := 1 - parent.Impact/c.maxImpactSafe()                        // line 3
 		child := c.plugins[pluginIdx].Mutate(parent.Scenario, distance, c.rng) // line 4
-		key := child.Key()
+		key := child.Compact()
 		if c.history[key] { // line 5: not in Ω (which also covers Ψ and Π)
 			continue
 		}
@@ -279,7 +279,7 @@ func (c *Controller) generate() {
 func (c *Controller) enqueueRandom(generator string) {
 	for attempt := 0; attempt < c.cfg.MaxGenerationRetries*8; attempt++ {
 		sc := c.space.Random(c.rng)
-		key := sc.Key()
+		key := sc.Compact()
 		if c.history[key] {
 			continue
 		}
@@ -343,7 +343,7 @@ func (c *Controller) samplePlugin() int {
 // the plugin fitness statistics.
 func (c *Controller) Record(res Result) {
 	c.executed++
-	key := res.Scenario.Key()
+	key := res.Scenario.Compact()
 	if m, ok := c.meta[key]; ok {
 		delete(c.meta, key)
 		if m.pluginIdx >= 0 {
@@ -380,7 +380,7 @@ func (c *Controller) Record(res Result) {
 type RandomExplorer struct {
 	space *scenario.Space
 	rng   *rand.Rand
-	seen  map[string]bool
+	seen  map[scenario.CompactKey]bool
 }
 
 // NewRandomExplorer returns a random explorer over space.
@@ -388,24 +388,29 @@ func NewRandomExplorer(space *scenario.Space, seed int64) *RandomExplorer {
 	return &RandomExplorer{
 		space: space,
 		rng:   rand.New(rand.NewSource(seed)),
-		seen:  make(map[string]bool),
+		seen:  make(map[scenario.CompactKey]bool),
 	}
 }
 
 var _ Explorer = (*RandomExplorer)(nil)
 
-// Next implements Explorer.
+// Next implements Explorer. It reports ok=false only when the space is
+// genuinely exhausted (every point proposed once): rejection sampling
+// retries collisions indefinitely, which terminates because at least one
+// unseen point remains.
 func (r *RandomExplorer) Next() (scenario.Scenario, string, bool) {
-	for attempt := 0; attempt < 256; attempt++ {
+	if uint64(len(r.seen)) >= r.space.Size() {
+		return scenario.Scenario{}, "", false
+	}
+	for {
 		sc := r.space.Random(r.rng)
-		key := sc.Key()
+		key := sc.Compact()
 		if r.seen[key] {
 			continue
 		}
 		r.seen[key] = true
 		return sc, "random", true
 	}
-	return scenario.Scenario{}, "", false
 }
 
 // Record implements Explorer (random search ignores feedback).

@@ -120,7 +120,7 @@ func TestMutateDistanceShrinksForGoodParents(t *testing.T) {
 	peak := int64(2048)
 	// Feed a synthetic near-perfect parent.
 	sc := c.SpaceOf().New(map[string]int64{"x": peak})
-	c.history[sc.Key()] = true
+	c.history[sc.Compact()] = true
 	c.Record(Result{Scenario: sc, Impact: 0.99})
 	c.executed = 50 // past the seeding phase
 	near, total := 0, 0
@@ -153,8 +153,8 @@ func TestMutateDistanceLargeForPoorParents(t *testing.T) {
 	// µ set by a good scenario; a poor parent also in Π.
 	good := c.SpaceOf().New(map[string]int64{"x": 100})
 	poor := c.SpaceOf().New(map[string]int64{"x": 3000})
-	c.history[good.Key()] = true
-	c.history[poor.Key()] = true
+	c.history[good.Compact()] = true
+	c.history[poor.Compact()] = true
 	c.Record(Result{Scenario: good, Impact: 1.0})
 	c.Record(Result{Scenario: poor, Impact: 0.01})
 	c.executed = 50

@@ -61,7 +61,7 @@ type Genetic struct {
 
 	population []Result // evaluated individuals of the current generation
 	pendingGen []scenario.Scenario
-	seen       map[string]bool
+	seen       map[scenario.CompactKey]bool
 	generation int
 }
 
@@ -82,7 +82,7 @@ func NewGenetic(cfg GeneticConfig, plugins ...Plugin) (*Genetic, error) {
 		dims:    space.Dimensions(),
 		byDim:   make(map[string]Plugin),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		seen:    make(map[string]bool),
+		seen:    make(map[scenario.CompactKey]bool),
 	}
 	for _, p := range plugins {
 		for _, d := range p.Dimensions() {
@@ -195,7 +195,7 @@ func (g *Genetic) enqueueUnseen(gen func() scenario.Scenario) {
 		if !sc.Valid() {
 			return
 		}
-		key := sc.Key()
+		key := sc.Compact()
 		if g.seen[key] {
 			continue
 		}
@@ -205,7 +205,7 @@ func (g *Genetic) enqueueUnseen(gen func() scenario.Scenario) {
 	}
 	for attempt := 0; attempt < 64; attempt++ {
 		sc := g.space.Random(g.rng)
-		key := sc.Key()
+		key := sc.Compact()
 		if g.seen[key] {
 			continue
 		}

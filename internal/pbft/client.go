@@ -65,11 +65,15 @@ type Client struct {
 	running    bool
 	view       uint64 // best known view, learned from replies
 	seq        uint64
+	curDone    bool // current request already completed (guards late replies)
 	curDigest  uint64
 	sentAt     sim.Time
 	replies    map[int]uint64 // replica -> result for the current request
-	retryTimer *sim.Timer
+	retryTimer sim.Timer
 	curRetry   time.Duration
+	retryFor   uint64 // request seq the retry timer was armed for
+	retryFn    func() // pre-bound retry callback (no per-arm closure)
+	allAddrs   []simnet.Addr
 
 	// onComplete, when set, observes every completed request.
 	onComplete func(seq uint64, latency time.Duration)
@@ -119,6 +123,11 @@ func NewClient(addr simnet.Addr, pcfg Config, ccfg ClientConfig, net *simnet.Net
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.retryFn = func() { c.onRetry(c.retryFor) }
+	c.allAddrs = make([]simnet.Addr, pcfg.N)
+	for i := range c.allAddrs {
+		c.allAddrs[i] = simnet.Addr(i)
+	}
 	net.Handle(addr, c.onMessage)
 	return c, nil
 }
@@ -154,10 +163,7 @@ func (c *Client) Start() {
 // Stop halts the loop and cancels timers.
 func (c *Client) Stop() {
 	c.running = false
-	if c.retryTimer != nil {
-		c.retryTimer.Stop()
-		c.retryTimer = nil
-	}
+	c.retryTimer.Stop()
 }
 
 func (c *Client) issueNext() {
@@ -165,7 +171,8 @@ func (c *Client) issueNext() {
 		return
 	}
 	c.seq++
-	c.replies = make(map[int]uint64)
+	c.curDone = false
+	clear(c.replies)
 	c.curRetry = c.ccfg.Retry
 	c.sentAt = c.eng.Now()
 	c.stats.Issued++
@@ -211,20 +218,12 @@ func (c *Client) generateMAC(replica int, digest uint64) mac.Tag {
 	return tag
 }
 
-func (c *Client) replicaAddrs() []simnet.Addr {
-	addrs := make([]simnet.Addr, 0, c.pcfg.N)
-	for i := 0; i < c.pcfg.N; i++ {
-		addrs = append(addrs, simnet.Addr(i))
-	}
-	return addrs
-}
+func (c *Client) replicaAddrs() []simnet.Addr { return c.allAddrs }
 
 func (c *Client) armRetry() {
-	if c.retryTimer != nil {
-		c.retryTimer.Stop()
-	}
-	seq := c.seq
-	c.retryTimer = c.eng.Schedule(c.curRetry, func() { c.onRetry(seq) })
+	c.retryTimer.Stop()
+	c.retryFor = c.seq
+	c.retryTimer = c.eng.Schedule(c.curRetry, c.retryFn)
 }
 
 func (c *Client) onRetry(seq uint64) {
@@ -246,7 +245,7 @@ func (c *Client) onMessage(from simnet.Addr, payload any) {
 	if !ok || !c.running {
 		return
 	}
-	if reply.Seq != c.seq || reply.Client != c.addr {
+	if reply.Seq != c.seq || reply.Client != c.addr || c.curDone {
 		return
 	}
 	if !mac.Verify(c.keyring.Pairwise(reply.Replica, int(c.addr)), reply.digest(), reply.Tag) {
@@ -257,23 +256,23 @@ func (c *Client) onMessage(from simnet.Addr, payload any) {
 		c.view = reply.View
 	}
 	c.replies[reply.Replica] = reply.Result
-	// f+1 matching results complete the request.
-	counts := make(map[uint64]int)
+	// f+1 matching results complete the request. Only the result just
+	// recorded can newly reach the threshold, so count its matches.
+	matches := 0
 	for _, res := range c.replies {
-		counts[res]++
-		if counts[res] >= c.pcfg.F+1 {
-			c.complete()
-			return
+		if res == reply.Result {
+			matches++
 		}
+	}
+	if matches >= c.pcfg.F+1 {
+		c.complete()
 	}
 }
 
 func (c *Client) complete() {
+	c.curDone = true
 	c.stats.Completed++
-	if c.retryTimer != nil {
-		c.retryTimer.Stop()
-		c.retryTimer = nil
-	}
+	c.retryTimer.Stop()
 	latency := c.eng.Now().Sub(c.sentAt)
 	if c.onComplete != nil {
 		c.onComplete(c.seq, latency)

@@ -122,8 +122,8 @@ type Replica struct {
 	// Primary batching state.
 	pending    []*Request
 	inFlight   map[RequestKey]bool
-	batchTimer *sim.Timer
-	slowTimer  *sim.Timer
+	batchTimer sim.Timer
+	slowTimer  sim.Timer
 
 	// Client bookkeeping.
 	lastReply map[simnet.Addr]*Reply
@@ -132,8 +132,8 @@ type Replica struct {
 	// requests this replica received directly from clients and has not
 	// seen execute ("such messages" in the paper's wording).
 	pendingForwarded map[RequestKey]*forwarded
-	singleTimer      *sim.Timer                // SingleTimer mode
-	reqTimers        map[RequestKey]*sim.Timer // PerRequestTimer mode
+	singleTimer      sim.Timer                // SingleTimer mode
+	reqTimers        map[RequestKey]sim.Timer // PerRequestTimer mode
 
 	// pendingBad indexes poisoned log slots by request key so that a
 	// valid retransmission can heal them.
@@ -145,7 +145,7 @@ type Replica struct {
 
 	// View change state: target view -> replica -> message.
 	viewChanges  map[uint64]map[int]*ViewChange
-	newViewTimer *sim.Timer
+	newViewTimer sim.Timer
 	nvTimeout    time.Duration
 
 	// CrashOnBadReproposal models the implementation fragility the paper
@@ -156,6 +156,13 @@ type Replica struct {
 	// (a) starts a view change while holding rejected entries, or
 	// (b) must re-propose / re-prepare a batch it cannot authenticate.
 	crashOnBadReproposal bool
+
+	// Pre-bound timer callbacks: binding a method value allocates, so the
+	// hot re-arm paths reuse these instead of rebinding per Schedule.
+	proposeBatchFn func()
+	reqTimerFn     func()
+	slowTickFn     func()
+	nvTimeoutFn    func()
 
 	stats ReplicaStats
 }
@@ -193,7 +200,7 @@ func NewReplica(id int, cfg Config, net *simnet.Network, keyring *mac.Keyring, o
 		inFlight:             make(map[RequestKey]bool),
 		lastReply:            make(map[simnet.Addr]*Reply),
 		pendingForwarded:     make(map[RequestKey]*forwarded),
-		reqTimers:            make(map[RequestKey]*sim.Timer),
+		reqTimers:            make(map[RequestKey]sim.Timer),
 		pendingBad:           make(map[RequestKey][]seqIdx),
 		checkpoints:          make(map[uint64]map[int]uint64),
 		viewChanges:          make(map[uint64]map[int]*ViewChange),
@@ -202,6 +209,14 @@ func NewReplica(id int, cfg Config, net *simnet.Network, keyring *mac.Keyring, o
 	}
 	for _, opt := range opts {
 		opt(r)
+	}
+	r.proposeBatchFn = r.proposeBatch
+	r.reqTimerFn = r.onRequestTimerFired
+	r.slowTickFn = r.onSlowTick
+	r.nvTimeoutFn = func() {
+		if !r.crashed && r.inViewChange {
+			r.startViewChange(r.pendingView + 1)
+		}
 	}
 	if r.byz != nil && r.byz.SlowPrimary && r.byz.SlowInterval <= 0 {
 		r.byz.SlowInterval = cfg.ViewChangeTimeout * 9 / 10
@@ -281,15 +296,9 @@ func (r *Replica) crash(reason string) {
 	r.crashed = true
 	r.crashReason = reason
 	r.stopAllRequestTimers()
-	if r.batchTimer != nil {
-		r.batchTimer.Stop()
-	}
-	if r.slowTimer != nil {
-		r.slowTimer.Stop()
-	}
-	if r.newViewTimer != nil {
-		r.newViewTimer.Stop()
-	}
+	r.batchTimer.Stop()
+	r.slowTimer.Stop()
+	r.newViewTimer.Stop()
 }
 
 // onMessage dispatches a delivered network message.
@@ -437,8 +446,8 @@ func (r *Replica) primaryAdmit(req *Request) {
 		r.proposeBatch()
 		return
 	}
-	if r.batchTimer == nil || !r.batchTimer.Active() {
-		r.batchTimer = r.eng.Schedule(r.cfg.BatchDelay, r.proposeBatch)
+	if !r.batchTimer.Active() {
+		r.batchTimer = r.eng.Schedule(r.cfg.BatchDelay, r.proposeBatchFn)
 	}
 }
 
@@ -447,10 +456,7 @@ func (r *Replica) proposeBatch() {
 	if r.crashed || r.inViewChange || !r.isPrimary() || len(r.pending) == 0 {
 		return
 	}
-	if r.batchTimer != nil {
-		r.batchTimer.Stop()
-		r.batchTimer = nil
-	}
+	r.batchTimer.Stop()
 	for len(r.pending) > 0 {
 		if r.seqCounter+1 > r.lowWater+r.cfg.WindowSize {
 			// Watermark window full: wait for a checkpoint to advance.
@@ -745,12 +751,12 @@ func (r *Replica) armRequestTimer(key RequestKey) {
 	case SingleTimer:
 		// The bug: one timer for the whole replica. Setting it again
 		// while running is a no-op.
-		if r.singleTimer == nil || !r.singleTimer.Active() {
-			r.singleTimer = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.onRequestTimerFired)
+		if !r.singleTimer.Active() {
+			r.singleTimer = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.reqTimerFn)
 		}
 	case PerRequestTimer:
 		if t, ok := r.reqTimers[key]; !ok || !t.Active() {
-			r.reqTimers[key] = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.onRequestTimerFired)
+			r.reqTimers[key] = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.reqTimerFn)
 		}
 	}
 }
@@ -766,12 +772,9 @@ func (r *Replica) onRequestExecuted(key RequestKey) {
 		// The bug: executing ANY directly-received request resets the
 		// single timer, granting the primary a fresh full period even
 		// though other forwarded requests still pend.
-		if r.singleTimer != nil {
-			r.singleTimer.Stop()
-			r.singleTimer = nil
-		}
+		r.singleTimer.Stop()
 		if len(r.pendingForwarded) > 0 && !r.inViewChange {
-			r.singleTimer = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.onRequestTimerFired)
+			r.singleTimer = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.reqTimerFn)
 		}
 	case PerRequestTimer:
 		if t, ok := r.reqTimers[key]; ok {
@@ -790,10 +793,7 @@ func (r *Replica) onRequestTimerFired() {
 }
 
 func (r *Replica) stopAllRequestTimers() {
-	if r.singleTimer != nil {
-		r.singleTimer.Stop()
-		r.singleTimer = nil
-	}
+	r.singleTimer.Stop()
 	for k, t := range r.reqTimers {
 		t.Stop()
 		delete(r.reqTimers, k)
@@ -876,10 +876,8 @@ func (r *Replica) advanceWatermark(stable uint64) {
 // --- Slow primary (Byzantine behavior) -------------------------------------
 
 func (r *Replica) armSlowTimer() {
-	if r.slowTimer != nil {
-		r.slowTimer.Stop()
-	}
-	r.slowTimer = r.eng.Schedule(r.byz.SlowInterval, r.onSlowTick)
+	r.slowTimer.Stop()
+	r.slowTimer = r.eng.Schedule(r.byz.SlowInterval, r.slowTickFn)
 }
 
 // onSlowTick proposes exactly one single-request batch, then re-arms. One

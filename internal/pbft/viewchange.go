@@ -31,10 +31,7 @@ func (r *Replica) startViewChange(target uint64) {
 	}
 	r.inViewChange = true
 	r.pendingView = target
-	if r.batchTimer != nil {
-		r.batchTimer.Stop()
-		r.batchTimer = nil
-	}
+	r.batchTimer.Stop()
 	r.stopAllRequestTimers()
 	r.pending = nil
 	r.inFlight = make(map[RequestKey]bool)
@@ -51,16 +48,10 @@ func (r *Replica) startViewChange(target uint64) {
 
 	// If the new view does not install in time, move on to the next one,
 	// doubling the wait (PBFT's exponential view-change backoff).
-	if r.newViewTimer != nil {
-		r.newViewTimer.Stop()
-	}
+	r.newViewTimer.Stop()
 	timeout := r.nvTimeout
 	r.nvTimeout *= 2
-	r.newViewTimer = r.eng.Schedule(timeout, func() {
-		if !r.crashed && r.inViewChange {
-			r.startViewChange(r.pendingView + 1)
-		}
-	})
+	r.newViewTimer = r.eng.Schedule(timeout, r.nvTimeoutFn)
 	r.maybeAssembleNewView(target)
 }
 
@@ -319,10 +310,7 @@ func (r *Replica) enterView(target uint64) {
 	r.inViewChange = false
 	r.pendingView = 0
 	r.nvTimeout = r.cfg.NewViewTimeout
-	if r.newViewTimer != nil {
-		r.newViewTimer.Stop()
-		r.newViewTimer = nil
-	}
+	r.newViewTimer.Stop()
 	r.stats.ViewsInstalled++
 	// Discard obsolete view-change state.
 	for v := range r.viewChanges {

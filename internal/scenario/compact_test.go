@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSpace builds a space with random dimension shapes, small enough
+// that collisions between random scenarios are likely (so the equality
+// property test exercises both branches).
+func randomSpace(t *testing.T, rng *rand.Rand) *Space {
+	t.Helper()
+	nDims := 1 + rng.Intn(6)
+	dims := make([]Dimension, nDims)
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for i := range dims {
+		min := int64(rng.Intn(100)) - 50
+		step := int64(1 + rng.Intn(7))
+		count := int64(1 + rng.Intn(40))
+		dims[i] = Dimension{Name: names[i], Min: min, Max: min + (count-1)*step, Step: step}
+	}
+	s, err := NewSpace(dims...)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	return s
+}
+
+func TestCompactKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		s := randomSpace(t, rng)
+		for i := 0; i < 50; i++ {
+			sc := s.Random(rng)
+			back := s.FromCompact(sc.Compact())
+			if back.Key() != sc.Key() {
+				t.Fatalf("round trip broke: %s -> %s", sc.Key(), back.Key())
+			}
+		}
+	}
+}
+
+func TestCompactKeyMatchesStringKey(t *testing.T) {
+	// Property: within one space, compact keys are equal exactly when the
+	// canonical string keys are equal — the compact encoding is a
+	// faithful stand-in for the dedup identity.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		s := randomSpace(t, rng)
+		a, b := s.Random(rng), s.Random(rng)
+		if (a.Compact() == b.Compact()) != (a.Key() == b.Key()) {
+			t.Fatalf("identity mismatch: compact %v vs %v, string %q vs %q",
+				a.Compact(), b.Compact(), a.Key(), b.Key())
+		}
+	}
+}
+
+func TestCompactKeyUniqueAcrossWholeSpace(t *testing.T) {
+	s := MustNewSpace(
+		Dimension{Name: "x", Min: 0, Max: 30, Step: 2},
+		Dimension{Name: "y", Min: -5, Max: 5, Step: 1},
+		Dimension{Name: "z", Min: 7, Max: 7, Step: 1}, // single-value dimension
+	)
+	seen := make(map[CompactKey]string)
+	s.Enumerate(func(sc Scenario) bool {
+		k := sc.Compact()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("compact key collision: %s vs %s", prev, sc.Key())
+		}
+		seen[k] = sc.Key()
+		return true
+	})
+	if uint64(len(seen)) != s.Size() {
+		t.Fatalf("%d distinct compact keys over a space of %d points", len(seen), s.Size())
+	}
+}
+
+func TestCompactKeyDedupAllocFree(t *testing.T) {
+	// The regression guard for the hot Ω dedup path: probing a history
+	// map with a compact key must not allocate.
+	s := MustNewSpace(
+		Dimension{Name: "x", Min: 0, Max: 4095, Step: 1},
+		Dimension{Name: "y", Min: 10, Max: 250, Step: 10},
+	)
+	rng := rand.New(rand.NewSource(5))
+	history := make(map[CompactKey]bool, 64)
+	scs := make([]Scenario, 32)
+	for i := range scs {
+		scs[i] = s.Random(rng)
+		history[scs[i].Compact()] = true
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		sc := scs[i%len(scs)]
+		i++
+		if !history[sc.Compact()] {
+			t.Fatal("seen scenario missing from history")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("scenario dedup allocates %.1f objects per probe, want 0", allocs)
+	}
+}
+
+func TestCompactKeyCapacityError(t *testing.T) {
+	// Three 48-bit dimensions need 144 index bits, beyond the 128-bit
+	// compact key.
+	wide := int64(1) << 48
+	_, err := NewSpace(
+		Dimension{Name: "a", Min: 0, Max: wide, Step: 1},
+		Dimension{Name: "b", Min: 0, Max: wide, Step: 1},
+		Dimension{Name: "c", Min: 0, Max: wide, Step: 1},
+	)
+	if err == nil {
+		t.Fatal("space needing >128 index bits accepted")
+	}
+}

@@ -6,6 +6,7 @@ package scenario
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 	"strings"
@@ -59,10 +60,28 @@ func (d Dimension) Random(rng *rand.Rand) int64 {
 	return d.Value(rng.Int63n(d.Count()))
 }
 
+// CompactKey is the packed identity of one scenario within its space:
+// every dimension's axis index, bit-packed in dimension order into 128
+// bits. It is comparable and allocation-free, which makes it the map key
+// of choice for the hot Ω/Ψ dedup path (Algorithm 1, line 5) in place of
+// the formatted Key() string. A CompactKey is only meaningful relative
+// to the space that produced it.
+type CompactKey struct{ hi, lo uint64 }
+
+// packSlot records where one dimension's axis index lives inside a
+// CompactKey. The layout is fixed at Space construction, so packing and
+// unpacking are branch-light shift/mask loops.
+type packSlot struct {
+	word  uint8 // 0 = lo, 1 = hi
+	shift uint8 // bit offset within the word
+	width uint8 // bits occupied (0 for single-value dimensions)
+}
+
 // Space is an immutable composition of dimensions.
 type Space struct {
 	dims  []Dimension
 	index map[string]int
+	pack  []packSlot
 }
 
 // NewSpace composes dimensions into a hyperspace. Dimension names must be
@@ -82,7 +101,30 @@ func NewSpace(dims ...Dimension) (*Space, error) {
 	if len(s.dims) == 0 {
 		return nil, fmt.Errorf("scenario: space needs at least one dimension")
 	}
+	if err := s.layoutCompact(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// layoutCompact assigns each dimension its bit slot inside CompactKey.
+// A dimension never straddles the lo/hi word boundary.
+func (s *Space) layoutCompact() error {
+	s.pack = make([]packSlot, len(s.dims))
+	word, shift := uint8(0), uint8(0)
+	for i, d := range s.dims {
+		width := uint8(bits.Len64(uint64(d.Count() - 1)))
+		if int(shift)+int(width) > 64 {
+			word++
+			shift = 0
+		}
+		if word > 1 {
+			return fmt.Errorf("scenario: space needs %d+ index bits, exceeding the 128-bit compact key", 64+int(shift)+int(width))
+		}
+		s.pack[i] = packSlot{word: word, shift: shift, width: width}
+		shift += width
+	}
+	return nil
 }
 
 // MustNewSpace is NewSpace that panics on error, for static space tables.
@@ -234,8 +276,52 @@ func (sc Scenario) With(name string, v int64) Scenario {
 	return Scenario{space: sc.space, values: vals}
 }
 
-// Key returns a canonical string identifying the scenario, used as the
-// Ω-history deduplication key (Algorithm 1, line 5).
+// Compact returns the scenario's packed identity. It allocates nothing
+// and two scenarios of the same space have equal compact keys exactly
+// when they are the same point, so it replaces Key() in dedup maps.
+func (sc Scenario) Compact() CompactKey {
+	var k CompactKey
+	if sc.space == nil {
+		return k
+	}
+	for i := range sc.space.dims {
+		d := &sc.space.dims[i]
+		slot := sc.space.pack[i]
+		idx := uint64((sc.values[i] - d.Min) / d.Step)
+		if slot.word == 0 {
+			k.lo |= idx << slot.shift
+		} else {
+			k.hi |= idx << slot.shift
+		}
+	}
+	return k
+}
+
+// FromCompact rebuilds the scenario a CompactKey of this space encodes
+// (the inverse of Scenario.Compact). Out-of-range indices are clamped
+// onto the axis, mirroring At.
+func (s *Space) FromCompact(k CompactKey) Scenario {
+	vals := make([]int64, len(s.dims))
+	for i := range s.dims {
+		d := &s.dims[i]
+		slot := s.pack[i]
+		mask := uint64(1)<<slot.width - 1
+		var idx uint64
+		if slot.word == 0 {
+			idx = k.lo >> slot.shift & mask
+		} else {
+			idx = k.hi >> slot.shift & mask
+		}
+		if idx >= uint64(d.Count()) {
+			idx = uint64(d.Count() - 1)
+		}
+		vals[i] = d.Value(int64(idx))
+	}
+	return Scenario{space: s, values: vals}
+}
+
+// Key returns a canonical string identifying the scenario, used in
+// reports and CSV output. Hot dedup paths use Compact() instead.
 func (sc Scenario) Key() string {
 	if sc.space == nil {
 		return ""

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -40,17 +39,24 @@ func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 // Duration converts a virtual duration expressed as Time delta.
 func (t Time) Duration() time.Duration { return time.Duration(t) }
 
-// Timer is a handle to a scheduled callback. The zero value is not a valid
-// timer; timers are created by Engine.Schedule and Engine.At.
+// Timer is a value handle to a scheduled callback. The zero value is an
+// inactive timer on which Stop and Active are safe no-ops; live timers
+// are created by Engine.Schedule and Engine.At.
+//
+// Timers are values, not pointers: scheduling allocates nothing for the
+// handle, and the underlying event object is recycled through the
+// engine's free list after it fires or its cancellation is collected. A
+// generation counter makes stale handles inert — a Timer kept after its
+// event fired can never affect a later event that reuses the same slot.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the call prevented the
 // callback from firing (false if it already fired or was already stopped).
-// Stopping a nil timer is a no-op that returns false.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fired {
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.canceled {
 		return false
 	}
 	t.ev.canceled = true
@@ -58,49 +64,27 @@ func (t *Timer) Stop() bool {
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && !t.ev.fired
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled
 }
 
-// When returns the virtual time at which the timer fires (meaningless after
-// Stop).
-func (t *Timer) When() Time { return t.ev.at }
+// When returns the virtual time at which the timer fires (meaningless
+// once the timer is no longer Active).
+func (t Timer) When() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
 
 type event struct {
 	at       Time
 	seq      uint64
+	gen      uint64 // bumped on recycle; validates Timer handles
 	fn       func()
+	call     func(any) // with arg: the closure-free variant (ScheduleCall)
+	arg      any
 	canceled bool
-	fired    bool
-	index    int // heap index
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use:
@@ -108,7 +92,8 @@ func (h *eventHeap) Pop() any {
 // also the goroutine on which event callbacks execute.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	events  []*event // binary min-heap by (at, seq)
+	free    []*event // recycled event objects
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -139,19 +124,53 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Schedule runs fn after virtual duration d and returns a cancelable timer.
 // A non-positive d schedules fn at the current time, after events already
 // queued for that time.
-func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+func (e *Engine) Schedule(d time.Duration, fn func()) Timer {
 	return e.At(e.now.Add(d), fn)
 }
 
 // At runs fn at virtual time t (clamped to now if t is in the past).
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
+	return e.schedule(t, fn, nil, nil)
+}
+
+// ScheduleCall runs fn(arg) after virtual duration d. It is Schedule for
+// callbacks that need one argument: passing a long-lived fn plus the arg
+// avoids allocating a fresh closure per call on hot paths such as
+// message delivery.
+func (e *Engine) ScheduleCall(d time.Duration, fn func(any), arg any) Timer {
+	return e.schedule(e.now.Add(d), nil, fn, arg)
+}
+
+// AtCall is ScheduleCall at an absolute virtual time.
+func (e *Engine) AtCall(t Time, fn func(any), arg any) Timer {
+	return e.schedule(t, nil, fn, arg)
+}
+
+func (e *Engine) schedule(t Time, fn func(), call func(any), arg any) Timer {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.canceled = t, e.seq, false
+	ev.fn, ev.call, ev.arg = fn, call, arg
 	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	e.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a popped event to the free list, invalidating every
+// Timer handle that still points at it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.call, ev.arg = nil, nil, nil
+	e.free = append(e.free, ev)
 }
 
 // Step fires the next event. It reports false when the queue is empty or
@@ -161,14 +180,20 @@ func (e *Engine) Step() bool {
 		if e.stopped {
 			return false
 		}
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.pop()
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
-		ev.fired = true
 		e.executed++
-		ev.fn()
+		fn, call, arg := ev.fn, ev.call, ev.arg
+		e.recycle(ev)
+		if call != nil {
+			call(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -211,15 +236,67 @@ func (e *Engine) Stop() { e.stopped = true }
 // Resume clears the stopped flag set by Stop.
 func (e *Engine) Resume() { e.stopped = false }
 
-// peek returns the next non-canceled event without firing it, discarding
-// canceled events it encounters.
+// peek returns the next non-canceled event without firing it, collecting
+// canceled events it encounters into the free list.
 func (e *Engine) peek() *event {
 	for len(e.events) > 0 {
 		ev := e.events[0]
 		if !ev.canceled {
 			return ev
 		}
-		heap.Pop(&e.events)
+		e.recycle(e.pop())
 	}
 	return nil
+}
+
+// less orders events by (time, insertion sequence).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the heap (hand-rolled to keep the hot Schedule
+// path free of interface boxing and indirect calls).
+func (e *Engine) push(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() *event {
+	h := e.events
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && less(h[left], h[smallest]) {
+			smallest = left
+		}
+		if right < n && less(h[right], h[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	e.events = h
+	return ev
 }

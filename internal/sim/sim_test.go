@@ -69,10 +69,16 @@ func TestStopAfterFire(t *testing.T) {
 	}
 }
 
-func TestStopNilTimer(t *testing.T) {
-	var timer *Timer
+func TestStopZeroTimer(t *testing.T) {
+	var timer Timer
 	if timer.Stop() {
-		t.Error("Stop on nil timer should return false")
+		t.Error("Stop on the zero timer should return false")
+	}
+	if timer.Active() {
+		t.Error("zero timer reports active")
+	}
+	if timer.When() != 0 {
+		t.Error("zero timer When() should be 0")
 	}
 }
 
@@ -193,6 +199,71 @@ func TestTimeArithmetic(t *testing.T) {
 	}
 	if t1.Sub(t0) != 1500*time.Millisecond {
 		t.Errorf("Sub = %v", t1.Sub(t0))
+	}
+}
+
+// TestStaleTimerCannotTouchRecycledEvent: after an event fires, its
+// Timer handle must go inert even though the engine recycles the event
+// object for later schedules.
+func TestStaleTimerCannotTouchRecycledEvent(t *testing.T) {
+	e := New(1)
+	first := e.Schedule(time.Millisecond, func() {})
+	e.Run()
+	// The free list now holds first's event; this Schedule reuses it.
+	fired := false
+	second := e.Schedule(time.Millisecond, func() { fired = true })
+	if first.Active() {
+		t.Error("stale handle reports active")
+	}
+	if first.Stop() {
+		t.Error("stale handle canceled a recycled event")
+	}
+	if !second.Active() {
+		t.Fatal("second timer should be active")
+	}
+	e.Run()
+	if !fired {
+		t.Error("second event did not fire; stale handle interfered")
+	}
+}
+
+// TestScheduleAllocFree is the allocation regression guard for the hot
+// timer path: once the engine is warm, schedule+fire must not allocate
+// (events come from the free list, Timer handles are values).
+func TestScheduleAllocFree(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(time.Microsecond, fn)
+		if !e.Step() {
+			t.Fatal("expected a pending event")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Schedule+Step allocates %.1f objects per event, want 0", allocs)
+	}
+}
+
+// TestCanceledEventsAreRecycled: stopping timers must not leak events —
+// canceled events return to the free list as the queue drains past them.
+func TestCanceledEventsAreRecycled(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	for i := 0; i < 100; i++ {
+		timer := e.Schedule(time.Duration(i+1)*time.Millisecond, fn)
+		timer.Stop()
+	}
+	e.Schedule(time.Second, fn)
+	e.Run()
+	if got := len(e.free); got != 101 {
+		t.Errorf("free list holds %d events after drain, want 101", got)
+	}
+	if e.Executed() != 1 {
+		t.Errorf("Executed() = %d, want 1 (canceled events must not fire)", e.Executed())
 	}
 }
 

@@ -28,7 +28,9 @@ func (a Addr) String() string { return fmt.Sprintf("node%d", int(a)) }
 type Handler func(from Addr, payload any)
 
 // Message is a message in flight, visible to interceptors before its
-// delivery is scheduled. Interceptors may mutate Payload and ExtraDelay.
+// delivery is scheduled. Interceptors may mutate Payload and ExtraDelay
+// but must not retain the *Message beyond Intercept: message objects are
+// recycled once delivery resolves.
 type Message struct {
 	From    Addr
 	To      Addr
@@ -94,6 +96,15 @@ type Network struct {
 	blocked      map[linkKey]bool
 	stats        Stats
 	closed       bool
+
+	// freeMsgs recycles Message objects: a message's lifetime ends when
+	// delivery (or a drop) resolves, so the in-flight set is small and
+	// per-send allocation is avoidable. Interceptors must not retain
+	// *Message beyond Intercept.
+	freeMsgs []*Message
+	// deliverFn is the pre-bound delivery callback handed to
+	// sim.Engine.ScheduleCall, avoiding a closure allocation per send.
+	deliverFn func(any)
 }
 
 type linkKey struct{ from, to Addr }
@@ -106,13 +117,15 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.DropRate > 1 {
 		cfg.DropRate = 1
 	}
-	return &Network{
+	n := &Network{
 		eng:         eng,
 		cfg:         cfg,
 		handlers:    make(map[Addr]Handler),
 		linkLatency: make(map[linkKey]time.Duration),
 		blocked:     make(map[linkKey]bool),
 	}
+	n.deliverFn = func(x any) { n.deliver(x.(*Message)) }
+	return n
 }
 
 // Engine returns the underlying event engine.
@@ -205,15 +218,18 @@ func (n *Network) Send(from, to Addr, payload any) {
 		n.stats.Partitioned++
 		return
 	}
-	m := &Message{From: from, To: to, Payload: payload, SendTime: n.eng.Now()}
+	m := n.getMsg()
+	m.From, m.To, m.Payload, m.SendTime, m.ExtraDelay = from, to, payload, n.eng.Now(), 0
 	for _, ic := range n.interceptors {
 		if ic.Intercept(m) == VerdictDrop {
 			n.stats.Dropped++
+			n.putMsg(m)
 			return
 		}
 	}
 	if n.cfg.DropRate > 0 && n.eng.Rand().Float64() < n.cfg.DropRate {
 		n.stats.Dropped++
+		n.putMsg(m)
 		return
 	}
 	d := n.cfg.BaseLatency
@@ -224,7 +240,22 @@ func (n *Network) Send(from, to Addr, payload any) {
 		d += time.Duration(n.eng.Rand().Int63n(int64(n.cfg.Jitter)))
 	}
 	d += m.ExtraDelay
-	n.eng.Schedule(d, func() { n.deliver(m) })
+	n.eng.ScheduleCall(d, n.deliverFn, m)
+}
+
+func (n *Network) getMsg() *Message {
+	if l := len(n.freeMsgs); l > 0 {
+		m := n.freeMsgs[l-1]
+		n.freeMsgs[l-1] = nil
+		n.freeMsgs = n.freeMsgs[:l-1]
+		return m
+	}
+	return &Message{}
+}
+
+func (n *Network) putMsg(m *Message) {
+	m.Payload = nil
+	n.freeMsgs = append(n.freeMsgs, m)
 }
 
 // Broadcast sends payload from->each address in tos (skipping from).
@@ -238,20 +269,22 @@ func (n *Network) Broadcast(from Addr, tos []Addr, payload any) {
 }
 
 func (n *Network) deliver(m *Message) {
+	from, to, payload := m.From, m.To, m.Payload
+	n.putMsg(m)
 	if n.closed {
 		return
 	}
 	// Re-check the partition at delivery time: messages in flight when a
 	// partition forms are lost, matching the usual fail-stop link model.
-	if n.blocked[linkKey{m.From, m.To}] {
+	if n.blocked[linkKey{from, to}] {
 		n.stats.Partitioned++
 		return
 	}
-	h, ok := n.handlers[m.To]
+	h, ok := n.handlers[to]
 	if !ok {
 		n.stats.Dropped++
 		return
 	}
 	n.stats.Delivered++
-	h(m.From, m.Payload)
+	h(from, payload)
 }

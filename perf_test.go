@@ -1,0 +1,92 @@
+// Micro-benchmarks for the campaign engine's hot paths: scenario
+// identity (dedup keys), simulator timer churn, and the parallel
+// campaign itself. cmd/bench runs a subset of these and records the
+// numbers in BENCH_<pr>.json, the repo's performance trajectory.
+package avd_test
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"avd/internal/core"
+	"avd/internal/plugin"
+	"avd/internal/scenario"
+	"avd/internal/sim"
+)
+
+// dedupSpace is the paper's PBFT hyperspace shape (mask x clients x
+// malicious), the space every campaign dedups over.
+func dedupSpace(b *testing.B) (*scenario.Space, []scenario.Scenario) {
+	b.Helper()
+	s, err := core.Space(plugin.NewMACCorrupt(), plugin.NewClients())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	scs := make([]scenario.Scenario, 256)
+	for i := range scs {
+		scs[i] = s.Random(rng)
+	}
+	return s, scs
+}
+
+// BenchmarkScenarioKeyString is the old dedup identity: the formatted,
+// sorted, joined string key (kept for reports).
+func BenchmarkScenarioKeyString(b *testing.B) {
+	_, scs := dedupSpace(b)
+	seen := make(map[string]bool, len(scs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seen[scs[i%len(scs)].Key()] = true
+	}
+}
+
+// BenchmarkScenarioKeyCompact is the new dedup identity: packed axis
+// indices, no allocation.
+func BenchmarkScenarioKeyCompact(b *testing.B) {
+	_, scs := dedupSpace(b)
+	seen := make(map[scenario.CompactKey]bool, len(scs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seen[scs[i%len(scs)].Compact()] = true
+	}
+}
+
+// BenchmarkEngineSchedule measures steady-state timer churn: schedule
+// plus fire, the pattern PBFT retransmission timers hammer.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := sim.New(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ { // warm the free list and heap
+		e.Schedule(time.Duration(i), fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Microsecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkFig2AVDParallel is BenchmarkFig2AVD executed by the parallel
+// campaign engine with all CPUs — the campaign-throughput headline.
+func BenchmarkFig2AVDParallel(b *testing.B) {
+	runner := benchRunner(b, benchWorkload())
+	plugins := []core.Plugin{plugin.NewMACCorrupt(), plugin.NewClients()}
+	var best core.Result
+	for i := 0; i < b.N; i++ {
+		ctrl, err := core.NewController(core.ControllerConfig{Seed: int64(i + 1), SeedTests: 8}, plugins...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results := core.ParallelCampaign(ctrl, runner, 40, runtime.NumCPU())
+		best = core.BestSoFar(results)[len(results)-1]
+	}
+	b.ReportMetric(best.Impact, "impact")
+	b.ReportMetric(float64(runtime.NumCPU()), "workers")
+}
