@@ -12,17 +12,23 @@
 // sampled by historical fitness gain, and mutation distance
 // 1 − parent.impact/µ.
 //
-// The package ships with a complete PBFT implementation over a
-// deterministic discrete-event simulator, a MAC-corruption fault
-// injector, and the plugins used in the paper's evaluation, so the whole
-// PBFT case study (Big MAC attack, slow-primary bug, Figures 2 and 3)
+// The search engine is protocol-agnostic: a Target is any system under
+// test that can execute scenarios and declare its fault-injection
+// plugins, and an Engine drives any Explorer against any Target,
+// streaming results as they complete. The package ships two targets — a
+// complete PBFT implementation (the paper's case study: Big MAC attack,
+// slow-primary bug, Figures 2 and 3) and a minimal Raft, both over the
+// same deterministic discrete-event simulator — so the whole evaluation
 // runs on a single machine:
 //
-//	runner, _ := avd.NewPBFTRunner(avd.DefaultWorkload())
-//	ctrl, _ := avd.NewController(avd.ControllerConfig{Seed: 1},
-//	    avd.NewMACCorruptPlugin(), avd.NewClientsPlugin())
-//	results := avd.Campaign(ctrl, runner, 125)
-//	best := avd.BestSoFar(results)[len(results)-1]
+//	target, _ := avd.NewPBFTTarget(avd.DefaultWorkload())
+//	eng, _ := avd.NewEngine(target, avd.WithSeed(1), avd.WithBudget(125))
+//	var best avd.Result
+//	for res := range eng.Run(context.Background()) {
+//	    if res.Impact > best.Impact {
+//	        best = res
+//	    }
+//	}
 //	fmt.Printf("best attack: %s impact=%.2f\n", best.Scenario, best.Impact)
 //
 // See the examples/ directory for runnable scenarios and the cmd/
@@ -34,6 +40,7 @@ import (
 	"avd/internal/cluster"
 	"avd/internal/core"
 	"avd/internal/plugin"
+	"avd/internal/raftsim"
 	"avd/internal/scenario"
 )
 
@@ -74,6 +81,27 @@ type (
 	PBFTRunner = cluster.Runner
 	// Report is the detailed outcome of one PBFT test.
 	Report = cluster.Report
+	// Target is a system under test: a deployment harness exposing
+	// scenario execution, a name, and its fault-injection plugins.
+	Target = core.Target
+	// Engine is the protocol-agnostic campaign driver connecting one
+	// Explorer to one Target.
+	Engine = core.Engine
+	// EngineOption configures an Engine at construction.
+	EngineOption = core.EngineOption
+	// Checkpoint is a campaign's replayable progress, for
+	// cancel-and-resume.
+	Checkpoint = core.Checkpoint
+	// CampaignObserver is the per-test callback of WithObserver.
+	CampaignObserver = core.CampaignObserver
+	// PBFTTarget is the PBFT system under test.
+	PBFTTarget = cluster.Target
+	// RaftWorkload fixes the non-dimension parameters of Raft tests.
+	RaftWorkload = raftsim.Workload
+	// RaftTarget is the Raft system under test.
+	RaftTarget = raftsim.Target
+	// RaftReport is the detailed outcome of one Raft test.
+	RaftReport = raftsim.Report
 )
 
 // NewController builds the AVD controller over the plugins' composed
@@ -104,8 +132,48 @@ func NewSpace(dims ...Dimension) (*Space, error) { return scenario.NewSpace(dims
 // SpaceOf composes the hyperspace owned by a plugin set.
 func SpaceOf(plugins ...Plugin) (*Space, error) { return core.Space(plugins...) }
 
+// NewEngine builds a campaign engine over a system under test. Without
+// WithExplorer it constructs the paper's Controller over the target's
+// plugins; Engine.Run(ctx) streams Results as they complete, honors
+// context cancellation mid-campaign, and resumes from a WithCheckpoint
+// checkpoint.
+func NewEngine(target Target, opts ...EngineOption) (*Engine, error) {
+	return core.NewEngine(target, opts...)
+}
+
+// WithWorkers sets the engine's concurrent test-execution workers; a
+// fixed (seed, workers) pair is deterministic and workers=1 reproduces
+// the serial campaign exactly.
+func WithWorkers(n int) EngineOption { return core.WithWorkers(n) }
+
+// WithSeed seeds the engine's default explorer (ignored when
+// WithExplorer supplies one).
+func WithSeed(seed int64) EngineOption { return core.WithSeed(seed) }
+
+// WithBudget caps the number of executed tests (default 125, the
+// paper's Figure-2 campaign size).
+func WithBudget(n int) EngineOption { return core.WithBudget(n) }
+
+// WithExplorer drives the campaign with an explicit explorer instead of
+// the default Controller over the target's plugins.
+func WithExplorer(ex Explorer) EngineOption { return core.WithExplorer(ex) }
+
+// WithObserver registers a per-test callback, invoked in dispatch order.
+func WithObserver(obs CampaignObserver) EngineOption { return core.WithObserver(obs) }
+
+// WithCheckpoint attaches a checkpoint for cancel-and-resume campaigns.
+func WithCheckpoint(ck *Checkpoint) EngineOption { return core.WithCheckpoint(ck) }
+
+// NewCheckpoint returns an empty campaign checkpoint.
+func NewCheckpoint() *Checkpoint { return core.NewCheckpoint() }
+
 // Campaign drives an explorer against a runner for a test budget and
 // returns the executed results in order.
+//
+// Deprecated: build an Engine over a Target instead — NewEngine(target,
+// WithExplorer(ex), WithBudget(budget)) followed by RunAll — which adds
+// streaming, cancellation and checkpointing on the same serial
+// semantics.
 func Campaign(ex Explorer, runner Runner, budget int) []Result {
 	return core.Campaign(ex, runner, budget)
 }
@@ -114,13 +182,23 @@ func Campaign(ex Explorer, runner Runner, budget int) []Result {
 // pending-test queue Ψ concurrently. Results and explorer feedback stay
 // in dispatch order, so a fixed (seed, workers) pair is deterministic
 // and workers=1 reproduces Campaign exactly. workers <= 0 uses all CPUs.
+//
+// Deprecated: build an Engine over a Target instead — NewEngine(target,
+// WithExplorer(ex), WithBudget(budget), WithWorkers(workers)) — which
+// preserves the (seed, workers) determinism contract and adds
+// streaming, cancellation and checkpointing.
 func ParallelCampaign(ex Explorer, runner Runner, budget, workers int) []Result {
 	return core.ParallelCampaign(ex, runner, budget, workers)
 }
 
-// Sweep executes independent scenarios in parallel across workers.
+// Sweep executes independent scenarios in parallel across workers,
+// labeling every result as exhaustively generated.
+//
+// Deprecated: use an Engine with an exhaustive explorer
+// (NewExhaustiveExplorer) over a Target, which streams and cancels; or
+// core-level sweeps with an explicit generator label.
 func Sweep(scenarios []Scenario, runner Runner, workers int) []Result {
-	return core.Sweep(scenarios, runner, workers)
+	return core.Sweep(scenarios, runner, workers, "exhaustive")
 }
 
 // BestSoFar maps results to their running best by impact.
@@ -137,8 +215,35 @@ func TestsToImpact(results []Result, threshold float64) int {
 func DefaultWorkload() Workload { return cluster.DefaultWorkload() }
 
 // NewPBFTRunner builds the deployment harness executing scenarios as
-// simulated PBFT clusters.
+// simulated PBFT clusters. Most callers want NewPBFTTarget, which wraps
+// the same harness in the Target seam an Engine drives.
 func NewPBFTRunner(w Workload) (*PBFTRunner, error) { return cluster.NewRunner(w) }
+
+// NewPBFTTarget builds the PBFT system under test. With no plugins it
+// exposes the paper's hyperspace (MAC corruption x deployment shape);
+// pass plugins to change the attack surface.
+func NewPBFTTarget(w Workload, plugins ...Plugin) (*PBFTTarget, error) {
+	return cluster.NewTarget(w, plugins...)
+}
+
+// DefaultRaftWorkload returns the Raft evaluation workload (5 nodes,
+// LAN latencies, compressed timers; see EXPERIMENTS.md).
+func DefaultRaftWorkload() RaftWorkload { return raftsim.DefaultWorkload() }
+
+// NewRaftTarget builds the Raft system under test. With no plugins it
+// exposes the default Raft hyperspace (client population x leader-flap
+// attack).
+func NewRaftTarget(w RaftWorkload, plugins ...Plugin) (*RaftTarget, error) {
+	return raftsim.NewTarget(w, plugins...)
+}
+
+// NewRaftClientsPlugin returns the Raft client-population plugin
+// (5..50 correct clients).
+func NewRaftClientsPlugin() Plugin { return raftsim.NewClientsPlugin() }
+
+// NewLeaderFlapPlugin returns the Raft leader-flap attacker plugin
+// (flap cadence x isolation length).
+func NewLeaderFlapPlugin() Plugin { return raftsim.NewLeaderFlapPlugin() }
 
 // NewMACCorruptPlugin returns the paper's 12-bit Gray-coded
 // MAC-corruption plugin.
@@ -170,4 +275,9 @@ const (
 	DimSlowPrimary      = plugin.DimSlowPrimary
 	DimCollude          = plugin.DimCollude
 	DimSlowIntervalMS   = plugin.DimSlowIntervalMS
+
+	// Raft target dimensions.
+	DimRaftClients    = raftsim.DimClients
+	DimFlapIntervalMS = raftsim.DimFlapIntervalMS
+	DimFlapDownMS     = raftsim.DimFlapDownMS
 )

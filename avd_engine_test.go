@@ -1,0 +1,162 @@
+package avd_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"avd"
+)
+
+// newSmallPBFTTarget keeps engine acceptance tests fast: short windows,
+// tiny client populations.
+func newSmallPBFTTarget(t *testing.T) avd.Target {
+	t.Helper()
+	w := avd.DefaultWorkload()
+	w.Warmup = 100 * time.Millisecond
+	w.Measure = 300 * time.Millisecond
+	target, err := avd.NewPBFTTarget(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return target
+}
+
+func newSmallRaftTarget(t *testing.T) avd.Target {
+	t.Helper()
+	w := avd.DefaultRaftWorkload()
+	w.Warmup = 300 * time.Millisecond
+	w.Measure = 500 * time.Millisecond
+	target, err := avd.NewRaftTarget(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return target
+}
+
+func fingerprint(results []avd.Result) []string {
+	out := make([]string, 0, 2*len(results))
+	for _, r := range results {
+		out = append(out, r.Scenario.Key(), r.Generator)
+	}
+	return out
+}
+
+// TestEngineCrossTargetDeterminism is the acceptance contract of the
+// Target seam: the same Controller explorer, unmodified, drives both
+// the PBFT and the Raft system under test through Engine.Run, and each
+// (seed, workers) campaign reproduces itself bit-for-bit.
+func TestEngineCrossTargetDeterminism(t *testing.T) {
+	targets := []struct {
+		name string
+		mk   func(t *testing.T) avd.Target
+	}{
+		{"pbft", newSmallPBFTTarget},
+		{"raft", newSmallRaftTarget},
+	}
+	for _, tc := range targets {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() []string {
+				target := tc.mk(t)
+				ctrl, err := avd.NewController(avd.ControllerConfig{Seed: 11, SeedTests: 5}, target.Plugins()...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng, err := avd.NewEngine(target,
+					avd.WithExplorer(ctrl), avd.WithBudget(14), avd.WithWorkers(2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				results, err := eng.RunAll(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(results) != 14 {
+					t.Fatalf("campaign ran %d of 14 tests", len(results))
+				}
+				return fingerprint(results)
+			}
+			a, b := run(), run()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s engine campaign nondeterministic at %d: %s vs %s", tc.name, i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// TestEngineCrossTargetGenetic: the alternative metaheuristic also runs
+// unmodified against both targets.
+func TestEngineCrossTargetGenetic(t *testing.T) {
+	for _, mk := range []func(t *testing.T) avd.Target{newSmallPBFTTarget, newSmallRaftTarget} {
+		target := mk(t)
+		ga, err := avd.NewGenetic(avd.GeneticConfig{Seed: 5, Population: 6}, target.Plugins()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := avd.NewEngine(target, avd.WithExplorer(ga), avd.WithBudget(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := eng.RunAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 12 {
+			t.Fatalf("%s genetic campaign ran %d of 12 tests", target.Name(), len(results))
+		}
+		for _, r := range results {
+			if !r.Scenario.Valid() {
+				t.Fatalf("%s genetic campaign produced an unbound scenario", target.Name())
+			}
+		}
+	}
+}
+
+// TestEngineCancellationMidCampaign: canceling a real-target campaign
+// stops the stream promptly with partial results.
+func TestEngineCancellationMidCampaign(t *testing.T) {
+	target := newSmallRaftTarget(t)
+	eng, err := avd.NewEngine(target, avd.WithSeed(3), avd.WithBudget(500), avd.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var partial []avd.Result
+	for res := range eng.Run(ctx) {
+		partial = append(partial, res)
+		if len(partial) == 4 {
+			cancel()
+		}
+	}
+	if err := eng.Err(); err != context.Canceled {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+	if len(partial) < 4 || len(partial) > 10 {
+		t.Fatalf("cancellation at test 4 yielded %d results", len(partial))
+	}
+}
+
+// TestEngineRaftFindsElectionStorm: the acceptance demo — the
+// fitness-guided search discovers a high-impact leader-flap scenario
+// within a small budget.
+func TestEngineRaftFindsElectionStorm(t *testing.T) {
+	target := newSmallRaftTarget(t)
+	eng, err := avd.NewEngine(target, avd.WithSeed(9), avd.WithBudget(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := eng.RunAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := avd.BestSoFar(results)[len(results)-1]
+	if best.Impact < 0.5 {
+		t.Fatalf("40-test campaign found best impact %.3f; want an election storm (>= 0.5)", best.Impact)
+	}
+	if best.Scenario.GetOr(avd.DimFlapDownMS, 0) == 0 {
+		t.Fatalf("best attack %s does not use the leader flap", best.Scenario)
+	}
+}

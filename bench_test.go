@@ -119,7 +119,7 @@ func BenchmarkFig3Subspace(b *testing.B) {
 	}
 	var dark int
 	for i := 0; i < b.N; i++ {
-		results := core.Sweep(scs, runner, 0)
+		results := core.Sweep(scs, runner, 0, "exhaustive")
 		dark = 0
 		for _, r := range results {
 			if r.Throughput < 500 {

@@ -1,48 +1,48 @@
-// Command avd runs vulnerability-discovery campaigns against the
-// simulated PBFT deployment: the paper's fitness-guided controller
-// (Algorithm 1), the random baseline, or an exhaustive sweep, over any
-// combination of the available testing-tool plugins.
+// Command avd runs vulnerability-discovery campaigns against a
+// simulated system under test: the paper's fitness-guided controller
+// (Algorithm 1), the random baseline, or a genetic explorer, over any
+// combination of the target's testing-tool plugins. The engine is
+// protocol-agnostic — the same search drives the PBFT deployment (the
+// paper's case study) or the Raft cluster (-target raft).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"avd/internal/cluster"
 	"avd/internal/core"
 	"avd/internal/plugin"
+	"avd/internal/raftsim"
 	"avd/internal/trace"
 )
 
 func main() {
 	var (
-		strategy  = flag.String("strategy", "avd", "exploration strategy: avd | random | genetic")
-		tests     = flag.Int("tests", 125, "test budget")
-		seed      = flag.Int64("seed", 1, "random seed")
-		measure   = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
-		pluginsCS = flag.String("plugins", "maccorrupt,clients", "comma-separated plugins: maccorrupt,clients,reorder,faultplan,slowprimary")
-		csvPath   = flag.String("csv", "", "write per-test results to this CSV file")
-		topN      = flag.Int("top", 5, "print the N best attacks found")
-		quiet     = flag.Bool("quiet", false, "suppress per-test progress output")
+		targetName = flag.String("target", "pbft", "system under test: pbft | raft")
+		strategy   = flag.String("strategy", "avd", "exploration strategy: avd | random | genetic")
+		tests      = flag.Int("tests", 125, "test budget")
+		seed       = flag.Int64("seed", 1, "random seed")
+		measure    = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
+		pluginsCS  = flag.String("plugins", "", "comma-separated plugins (pbft: maccorrupt,clients,reorder,faultplan,slowprimary; raft: raftclients,leaderflap); empty = target default")
+		workers    = flag.Int("workers", 1, "parallel test-execution workers (results are reproducible per seed+workers pair)")
+		csvPath    = flag.String("csv", "", "write per-test results to this CSV file")
+		topN       = flag.Int("top", 5, "print the N best attacks found")
+		quiet      = flag.Bool("quiet", false, "suppress per-test progress output")
 	)
 	flag.Parse()
 
-	plugins, err := parsePlugins(*pluginsCS)
+	target, err := buildTarget(*targetName, *pluginsCS, *measure)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avd:", err)
 		os.Exit(1)
 	}
-	w := cluster.DefaultWorkload()
-	w.Measure = *measure
-	runner, err := cluster.NewRunner(w)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "avd:", err)
-		os.Exit(1)
-	}
-	space, err := core.Space(plugins...)
+	space, err := core.Space(target.Plugins()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avd:", err)
 		os.Exit(1)
@@ -51,37 +51,53 @@ func main() {
 	var explorer core.Explorer
 	switch *strategy {
 	case "avd":
-		explorer, err = core.NewController(core.ControllerConfig{Seed: *seed, SeedTests: 10}, plugins...)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "avd:", err)
-			os.Exit(1)
-		}
+		explorer, err = core.NewController(core.ControllerConfig{Seed: *seed, SeedTests: 10}, target.Plugins()...)
 	case "random":
 		explorer = core.NewRandomExplorer(space, *seed)
 	case "genetic":
-		explorer, err = core.NewGenetic(core.GeneticConfig{Seed: *seed}, plugins...)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "avd:", err)
-			os.Exit(1)
-		}
+		explorer, err = core.NewGenetic(core.GeneticConfig{Seed: *seed}, target.Plugins()...)
 	default:
-		fmt.Fprintf(os.Stderr, "avd: unknown strategy %q (want avd, random or genetic)\n", *strategy)
+		err = fmt.Errorf("unknown strategy %q (want avd, random or genetic)", *strategy)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("strategy=%s plugins=%s hyperspace=%d scenarios budget=%d\n",
-		*strategy, *pluginsCS, space.Size(), *tests)
-	start := time.Now()
-	var obs core.CampaignObserver
+	opts := []core.EngineOption{
+		core.WithExplorer(explorer),
+		core.WithBudget(*tests),
+		core.WithWorkers(*workers),
+	}
 	if !*quiet {
-		obs = func(i int, res core.Result) {
+		opts = append(opts, core.WithObserver(func(i int, res core.Result) {
 			fmt.Printf("%4d impact=%.3f tput=%8.0f lat=%-10v %s (%s)\n",
 				i, res.Impact, res.Throughput, res.AvgLatency.Round(time.Millisecond),
 				res.Scenario.Key(), res.Generator)
-		}
+		}))
 	}
-	results := core.CampaignWithObserver(explorer, runner, *tests, obs)
+	eng, err := core.NewEngine(target, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("target=%s strategy=%s hyperspace=%d scenarios budget=%d workers=%d\n",
+		target.Name(), *strategy, space.Size(), *tests, *workers)
+
+	// Ctrl-C cancels the campaign; the partial results are still
+	// summarized below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
+	results, runErr := eng.RunAll(ctx)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "avd: campaign ended early: %v\n", runErr)
+	}
 	fmt.Printf("\n%d tests in %v (wall)\n\n", len(results), time.Since(start).Round(time.Second))
+	if len(results) == 0 {
+		return
+	}
 	trace.SummarizeCampaign(os.Stdout, *strategy, results)
 
 	best := append([]core.Result(nil), results...)
@@ -119,7 +135,32 @@ func main() {
 	}
 }
 
-func parsePlugins(cs string) ([]core.Plugin, error) {
+// buildTarget assembles the requested system under test with its plugin
+// set; an empty plugin list uses the target's default attack surface.
+func buildTarget(name, pluginsCS string, measure time.Duration) (core.Target, error) {
+	switch name {
+	case "pbft":
+		plugins, err := parsePBFTPlugins(pluginsCS)
+		if err != nil {
+			return nil, err
+		}
+		w := cluster.DefaultWorkload()
+		w.Measure = measure
+		return cluster.NewTarget(w, plugins...)
+	case "raft":
+		plugins, err := parseRaftPlugins(pluginsCS)
+		if err != nil {
+			return nil, err
+		}
+		w := raftsim.DefaultWorkload()
+		w.Measure = measure
+		return raftsim.NewTarget(w, plugins...)
+	default:
+		return nil, fmt.Errorf("unknown target %q (want pbft or raft)", name)
+	}
+}
+
+func parsePBFTPlugins(cs string) ([]core.Plugin, error) {
 	var out []core.Plugin
 	for _, name := range strings.Split(cs, ",") {
 		switch strings.TrimSpace(name) {
@@ -135,11 +176,24 @@ func parsePlugins(cs string) ([]core.Plugin, error) {
 			out = append(out, &plugin.SlowPrimary{})
 		case "":
 		default:
-			return nil, fmt.Errorf("unknown plugin %q", name)
+			return nil, fmt.Errorf("unknown pbft plugin %q", name)
 		}
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no plugins selected")
+	return out, nil
+}
+
+func parseRaftPlugins(cs string) ([]core.Plugin, error) {
+	var out []core.Plugin
+	for _, name := range strings.Split(cs, ",") {
+		switch strings.TrimSpace(name) {
+		case "raftclients":
+			out = append(out, raftsim.NewClientsPlugin())
+		case "leaderflap":
+			out = append(out, raftsim.NewLeaderFlapPlugin())
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown raft plugin %q", name)
+		}
 	}
 	return out, nil
 }

@@ -5,11 +5,16 @@
 //
 // Measured:
 //   - fig2_campaign: wall-clock tests/second of a Figure-2-style AVD
-//     campaign, serial (workers=1) vs parallel (-workers), on fresh
-//     runners so both pay cold baselines.
+//     campaign against the PBFT target, serial (workers=1) vs parallel
+//     (-workers), on fresh targets so both pay cold baselines. Campaigns
+//     run through the protocol-agnostic core.Engine streaming path.
+//   - raft_campaign: the same campaign shape against the Raft target
+//     (election-storm hyperspace), proving the Target seam costs nothing.
 //   - test_execution: ns/op and allocs/op of one full simulated PBFT
 //     deployment (the Big MAC scenario, baselines pre-warmed).
 //   - baseline_run: the same for an attack-free run (corruption mask 0).
+//   - raft_test_execution: ns/op and allocs/op of one full simulated
+//     Raft deployment under the leader-flap election storm.
 //   - scenario_key: ns/op and allocs/op of the dedup identity, string
 //     (legacy, kept for reports) vs compact (hot path).
 //   - engine_schedule: steady-state ns/op and allocs/op of one
@@ -17,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +36,7 @@ import (
 	"avd/internal/core"
 	"avd/internal/graycode"
 	"avd/internal/plugin"
+	"avd/internal/raftsim"
 	"avd/internal/scenario"
 	"avd/internal/sim"
 )
@@ -57,15 +64,17 @@ type keyBench struct {
 }
 
 type report struct {
-	Schema      int           `json:"schema"`
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	NumCPU      int           `json:"num_cpu"`
-	Campaign    campaignBench `json:"fig2_campaign"`
-	TestExec    opBench       `json:"test_execution"`
-	BaselineRun opBench       `json:"baseline_run"`
-	ScenarioKey keyBench      `json:"scenario_key"`
-	EngineSched opBench       `json:"engine_schedule"`
+	Schema       int           `json:"schema"`
+	GeneratedAt  string        `json:"generated_at"`
+	GoVersion    string        `json:"go_version"`
+	NumCPU       int           `json:"num_cpu"`
+	Campaign     campaignBench `json:"fig2_campaign"`
+	RaftCampaign campaignBench `json:"raft_campaign"`
+	TestExec     opBench       `json:"test_execution"`
+	BaselineRun  opBench       `json:"baseline_run"`
+	RaftTestExec opBench       `json:"raft_test_execution"`
+	ScenarioKey  keyBench      `json:"scenario_key"`
+	EngineSched  opBench       `json:"engine_schedule"`
 }
 
 func toOp(r testing.BenchmarkResult) opBench {
@@ -78,7 +87,7 @@ func toOp(r testing.BenchmarkResult) opBench {
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_1.json", "output JSON file")
+		out     = flag.String("o", "BENCH_2.json", "output JSON file")
 		tests   = flag.Int("tests", 125, "campaign budget (Figure-2 size)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel campaign workers")
 		measure = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
@@ -88,49 +97,66 @@ func main() {
 	w := cluster.DefaultWorkload()
 	w.Measure = *measure
 	plugins := []core.Plugin{plugin.NewMACCorrupt(), plugin.NewClients()}
-	newRunner := func() *cluster.Runner {
-		r, err := cluster.NewRunner(w)
+	newPBFT := func() *cluster.Target {
+		t, err := cluster.NewTarget(w, plugins...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		return r
+		return t
 	}
-	newCtrl := func() *core.Controller {
-		ctrl, err := core.NewController(core.ControllerConfig{Seed: 1, SeedTests: 10}, plugins...)
+	rw := raftsim.DefaultWorkload()
+	rw.Measure = *measure
+	newRaft := func() *raftsim.Target {
+		t, err := raftsim.NewTarget(rw)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		return ctrl
+		return t
 	}
 
 	rep := report{
-		Schema:      1,
+		Schema:      2,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
 	}
 
-	// Campaign throughput, serial vs parallel, both on cold runners.
-	fmt.Printf("campaign: %d tests serial...\n", *tests)
-	start := time.Now()
-	core.Campaign(newCtrl(), newRunner(), *tests)
-	serial := time.Since(start)
-	fmt.Printf("campaign: %d tests with %d workers...\n", *tests, *workers)
-	start = time.Now()
-	core.ParallelCampaign(newCtrl(), newRunner(), *tests, *workers)
-	parallel := time.Since(start)
-	rep.Campaign = campaignBench{
-		Tests:               *tests,
-		MeasureWindowMS:     measure.Milliseconds(),
-		SerialSeconds:       serial.Seconds(),
-		SerialTestsPerSec:   float64(*tests) / serial.Seconds(),
-		Workers:             *workers,
-		ParallelSeconds:     parallel.Seconds(),
-		ParallelTestsPerSec: float64(*tests) / parallel.Seconds(),
-		Speedup:             serial.Seconds() / parallel.Seconds(),
+	// Campaign throughput through the Engine streaming path, serial vs
+	// parallel, on cold targets (both pay cold baselines).
+	campaign := func(name string, mk func() core.Target) campaignBench {
+		run := func(workers int) time.Duration {
+			eng, err := core.NewEngine(mk(),
+				core.WithSeed(1), core.WithBudget(*tests), core.WithWorkers(workers))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			start := time.Now()
+			if _, err := eng.RunAll(context.Background()); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			return time.Since(start)
+		}
+		fmt.Printf("%s campaign: %d tests serial...\n", name, *tests)
+		serial := run(1)
+		fmt.Printf("%s campaign: %d tests with %d workers...\n", name, *tests, *workers)
+		parallel := run(*workers)
+		return campaignBench{
+			Tests:               *tests,
+			MeasureWindowMS:     measure.Milliseconds(),
+			SerialSeconds:       serial.Seconds(),
+			SerialTestsPerSec:   float64(*tests) / serial.Seconds(),
+			Workers:             *workers,
+			ParallelSeconds:     parallel.Seconds(),
+			ParallelTestsPerSec: float64(*tests) / parallel.Seconds(),
+			Speedup:             serial.Seconds() / parallel.Seconds(),
+		}
 	}
+	rep.Campaign = campaign("pbft", func() core.Target { return newPBFT() })
+	rep.RaftCampaign = campaign("raft", func() core.Target { return newRaft() })
 
 	// Single test execution (Big MAC) and attack-free baseline run.
 	space, err := core.Space(plugins...)
@@ -138,7 +164,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	runner := newRunner()
+	runner := newPBFT().Runner
 	bigmac := space.New(map[string]int64{
 		plugin.DimMACMask:          int64(graycode.Decode(0xEEE)),
 		plugin.DimCorrectClients:   30,
@@ -161,6 +187,27 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runner.Run(clean)
+		}
+	}))
+
+	// Raft test execution: one full deployment under the election storm.
+	raftTarget := newRaft()
+	raftSpace, err := core.Space(raftTarget.Plugins()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	storm := raftSpace.New(map[string]int64{
+		raftsim.DimClients:        10,
+		raftsim.DimFlapIntervalMS: 300,
+		raftsim.DimFlapDownMS:     200,
+	})
+	raftTarget.Baseline(10)
+	fmt.Println("raft test execution micro-benchmark...")
+	rep.RaftTestExec = toOp(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			raftTarget.Run(storm)
 		}
 	}))
 
@@ -214,12 +261,17 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("\ncampaign: serial %.1fs (%.2f tests/s), %d workers %.1fs (%.2f tests/s), speedup %.2fx\n",
+	fmt.Printf("\npbft campaign: serial %.1fs (%.2f tests/s), %d workers %.1fs (%.2f tests/s), speedup %.2fx\n",
 		rep.Campaign.SerialSeconds, rep.Campaign.SerialTestsPerSec,
 		rep.Campaign.Workers, rep.Campaign.ParallelSeconds, rep.Campaign.ParallelTestsPerSec,
 		rep.Campaign.Speedup)
-	fmt.Printf("test execution: bigmac %.1fms/op, clean %.1fms/op\n",
-		float64(rep.TestExec.NsPerOp)/1e6, float64(rep.BaselineRun.NsPerOp)/1e6)
+	fmt.Printf("raft campaign: serial %.1fs (%.2f tests/s), %d workers %.1fs (%.2f tests/s), speedup %.2fx\n",
+		rep.RaftCampaign.SerialSeconds, rep.RaftCampaign.SerialTestsPerSec,
+		rep.RaftCampaign.Workers, rep.RaftCampaign.ParallelSeconds, rep.RaftCampaign.ParallelTestsPerSec,
+		rep.RaftCampaign.Speedup)
+	fmt.Printf("test execution: bigmac %.1fms/op, clean %.1fms/op, raft storm %.1fms/op\n",
+		float64(rep.TestExec.NsPerOp)/1e6, float64(rep.BaselineRun.NsPerOp)/1e6,
+		float64(rep.RaftTestExec.NsPerOp)/1e6)
 	fmt.Printf("scenario key: string %dns/%d allocs, compact %dns/%d allocs\n",
 		rep.ScenarioKey.String.NsPerOp, rep.ScenarioKey.String.AllocsPerOp,
 		rep.ScenarioKey.Compact.NsPerOp, rep.ScenarioKey.Compact.AllocsPerOp)

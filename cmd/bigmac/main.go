@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,18 +38,19 @@ func main() {
 
 	w := cluster.DefaultWorkload()
 	w.Measure = *measure
-	runner, err := cluster.NewRunner(w)
+	target, err := cluster.NewTarget(w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bigmac:", err)
 		os.Exit(1)
 	}
+	runner := target.Runner
 
 	if *discover {
-		runDiscovery(runner, *budget, *seed, *workers)
+		runDiscovery(target, *budget, *seed, *workers)
 		return
 	}
 
-	space, err := core.Space(plugin.NewMACCorrupt(), plugin.NewClients())
+	space, err := core.Space(target.Plugins()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bigmac:", err)
 		os.Exit(1)
@@ -86,15 +88,19 @@ func main() {
 	}
 }
 
-func runDiscovery(runner *cluster.Runner, budget int, seed int64, workers int) {
-	plugins := []core.Plugin{plugin.NewMACCorrupt(), plugin.NewClients()}
-	ctrl, err := core.NewController(core.ControllerConfig{Seed: seed, SeedTests: 10}, plugins...)
+func runDiscovery(target *cluster.Target, budget int, seed int64, workers int) {
+	eng, err := core.NewEngine(target,
+		core.WithSeed(seed), core.WithBudget(budget), core.WithWorkers(workers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bigmac:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("running AVD discovery campaign (budget %d, seed %d, %d workers)...\n", budget, seed, workers)
-	results := core.ParallelCampaign(ctrl, runner, budget, workers)
+	results, err := eng.RunAll(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bigmac:", err)
+		os.Exit(1)
+	}
 	firstDark := 0
 	for i, r := range results {
 		if r.Throughput < 500 {

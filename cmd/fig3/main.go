@@ -75,7 +75,7 @@ func main() {
 	fmt.Printf("exhaustively exploring %d scenarios (%d mask coords x %d client counts) on %d workers\n",
 		len(scs), coords, len(clientCounts), *workers)
 	start := time.Now()
-	results := core.Sweep(scs, runner, *workers)
+	results := core.Sweep(scs, runner, *workers, "exhaustive")
 	fmt.Printf("swept in %v (wall)\n\n", time.Since(start).Round(time.Second))
 
 	cells := make([]trace.HeatCell, len(results))

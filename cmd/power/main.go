@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -63,19 +64,29 @@ func main() {
 	fmt.Printf("attacker power vs. tests-to-find (impact >= %.2f), %d seeds x %d tests\n\n", *thresh, *seeds, *budget)
 	fmt.Printf("%-32s %14s %10s  %s\n", "power level", "tests-to-find", "found", "attacker position")
 	for _, level := range levels {
-		runner, err := cluster.NewRunner(w)
+		target, err := cluster.NewTarget(w, level.plugins()...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "power:", err)
 			os.Exit(1)
 		}
 		total, found := 0, 0
 		for seed := 1; seed <= *seeds; seed++ {
-			ctrl, err := core.NewController(core.ControllerConfig{Seed: int64(seed), SeedTests: 8}, level.plugins()...)
+			ctrl, err := core.NewController(core.ControllerConfig{Seed: int64(seed), SeedTests: 8}, target.Plugins()...)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "power:", err)
 				os.Exit(1)
 			}
-			results := core.ParallelCampaign(ctrl, runner, *budget, *workers)
+			eng, err := core.NewEngine(target,
+				core.WithExplorer(ctrl), core.WithBudget(*budget), core.WithWorkers(*workers))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "power:", err)
+				os.Exit(1)
+			}
+			results, err := eng.RunAll(context.Background())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "power:", err)
+				os.Exit(1)
+			}
 			if n := core.TestsToImpact(results, *thresh); n > 0 {
 				total += n
 				found++

@@ -27,11 +27,12 @@ func gray(mask uint64) int64 {
 func main() {
 	workload := avd.DefaultWorkload()
 	workload.Measure = 2 * time.Second
-	runner, err := avd.NewPBFTRunner(workload)
+	target, err := avd.NewPBFTTarget(workload)
 	if err != nil {
 		log.Fatal(err)
 	}
-	space, err := avd.SpaceOf(avd.NewMACCorruptPlugin(), avd.NewClientsPlugin())
+	runner := target.Runner
+	space, err := avd.SpaceOf(target.Plugins()...)
 	if err != nil {
 		log.Fatal(err)
 	}

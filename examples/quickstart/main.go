@@ -1,10 +1,12 @@
 // Quickstart: run a small AVD campaign against a simulated PBFT
-// deployment and print the most damaging attack found.
+// deployment and print the most damaging attack found, consuming the
+// engine's result stream as tests complete.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,25 +21,37 @@ func main() {
 	workload := avd.DefaultWorkload()
 	workload.Measure = time.Second // keep the demo snappy
 
-	runner, err := avd.NewPBFTRunner(workload)
+	// The target is the system under test: the PBFT deployment harness
+	// plus its default testing-tool plugins, exactly as in the paper's
+	// experiment — a 12-bit Gray-coded MAC-corruption mask, the number
+	// of correct clients (10..250) and the number of malicious clients
+	// (1..2), 204,800 scenarios in total.
+	target, err := avd.NewPBFTTarget(workload)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The search space is owned by the testing-tool plugins, exactly as
-	// in the paper's PBFT experiment: a 12-bit Gray-coded MAC-corruption
-	// mask, the number of correct clients (10..250) and the number of
-	// malicious clients (1..2) — 204,800 scenarios in total.
-	ctrl, err := avd.NewController(avd.ControllerConfig{Seed: 42},
-		avd.NewMACCorruptPlugin(), avd.NewClientsPlugin())
+	// The engine connects the paper's controller (built implicitly over
+	// the target's plugins) to the target and streams results.
+	eng, err := avd.NewEngine(target, avd.WithSeed(42), avd.WithBudget(50))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("exploring the PBFT attack hyperspace with 50 tests...")
-	results := avd.Campaign(ctrl, runner, 50)
+	var best avd.Result
+	var results []avd.Result
+	for res := range eng.Run(context.Background()) {
+		results = append(results, res)
+		if res.Impact > best.Impact {
+			best = res
+			fmt.Printf("  test %3d: new best impact %.3f (%s)\n", len(results), best.Impact, res.Generator)
+		}
+	}
+	if err := eng.Err(); err != nil {
+		log.Fatal(err)
+	}
 
-	best := avd.BestSoFar(results)[len(results)-1]
 	fmt.Printf("\nbest attack found:\n")
 	fmt.Printf("  scenario:   %s\n", best.Scenario)
 	fmt.Printf("  impact:     %.3f\n", best.Impact)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,11 +19,14 @@ import (
 func main() {
 	workload := avd.DefaultWorkload()
 	workload.Measure = 1500 * time.Millisecond
-	runner, err := avd.NewPBFTRunner(workload)
+	// This target trades the MAC-corruption plugin for the reordering
+	// tool: the attack surface is a choice, not a constant.
+	target, err := avd.NewPBFTTarget(workload, avd.NewClientsPlugin(), avd.NewReorderPlugin())
 	if err != nil {
 		log.Fatal(err)
 	}
-	space, err := avd.SpaceOf(avd.NewClientsPlugin(), avd.NewReorderPlugin())
+	runner := target.Runner
+	space, err := avd.SpaceOf(target.Plugins()...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,14 +49,16 @@ func main() {
 			cfg.pct, cfg.delayMS, res.Throughput, res.AvgLatency.Round(time.Millisecond), res.Impact)
 	}
 
-	// Then let the controller search the composed space.
-	ctrl, err := avd.NewController(avd.ControllerConfig{Seed: 3},
-		avd.NewClientsPlugin(), avd.NewReorderPlugin())
+	// Then let the engine's default controller search the composed space.
+	eng, err := avd.NewEngine(target, avd.WithSeed(3), avd.WithBudget(40))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nguided search over the reordering hyperspace (40 tests)...")
-	results := avd.Campaign(ctrl, runner, 40)
+	results, err := eng.RunAll(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	best := avd.BestSoFar(results)[len(results)-1]
 	fmt.Printf("strongest reordering attack: impact %.3f at %s\n", best.Impact, best.Scenario)
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,21 +18,24 @@ import (
 func main() {
 	workload := avd.DefaultWorkload()
 	workload.Measure = 2 * time.Second
-	runner, err := avd.NewPBFTRunner(workload)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	// Three tools this time: MAC corruption, deployment shape, and the
 	// Byzantine slow-primary behavior.
-	ctrl, err := avd.NewController(avd.ControllerConfig{Seed: 7},
+	target, err := avd.NewPBFTTarget(workload,
 		avd.NewMACCorruptPlugin(), avd.NewClientsPlugin(), avd.NewSlowPrimaryPlugin())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := avd.NewEngine(target, avd.WithSeed(7), avd.WithBudget(60))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("searching for replica-side attacks (60 tests)...")
-	results := avd.Campaign(ctrl, runner, 60)
+	results, err := eng.RunAll(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Report the best slow-primary attack the campaign found.
 	var bestSlow avd.Result

@@ -9,7 +9,6 @@ package cluster
 
 import (
 	"fmt"
-	"slices"
 	"sync"
 	"time"
 
@@ -17,6 +16,7 @@ import (
 	"avd/internal/faultinject"
 	"avd/internal/graycode"
 	"avd/internal/mac"
+	"avd/internal/metrics"
 	"avd/internal/pbft"
 	"avd/internal/plugin"
 	"avd/internal/scenario"
@@ -126,18 +126,10 @@ type Report struct {
 // sweeps and campaign workers.
 type Runner struct {
 	w Workload
-	// baselines: correct-client count -> *baselineCell. Each cell is a
-	// singleflight slot, so concurrent workers needing the same missing
-	// baseline share one deterministic measurement instead of
-	// duplicating it.
-	baselines sync.Map
-}
-
-// baselineCell measures one correct-client count's attack-free
-// throughput exactly once.
-type baselineCell struct {
-	once sync.Once
-	tput float64
+	// baselines is the shared singleflight cache: concurrent workers
+	// needing the same missing baseline share one deterministic
+	// measurement instead of duplicating it.
+	baselines core.BaselineCache
 }
 
 // NewRunner returns a runner for the workload.
@@ -202,16 +194,15 @@ func (r *Runner) RunReport(sc scenario.Scenario) (core.Result, Report) {
 // the same count share a single measurement; different counts measure in
 // parallel.
 func (r *Runner) Baseline(correctClients int64) float64 {
-	v, _ := r.baselines.LoadOrStore(correctClients, &baselineCell{})
-	cell := v.(*baselineCell)
-	cell.once.Do(func() {
-		empty := scenario.MustNewSpace(scenario.Dimension{
-			Name: plugin.DimCorrectClients, Min: correctClients, Max: correctClients, Step: 1,
-		}).New(nil)
-		res, _ := r.execute(empty, correctClients, false)
-		cell.tput = res.Throughput
-	})
-	return cell.tput
+	return r.baselines.Get(correctClients, r.measureBaseline)
+}
+
+func (r *Runner) measureBaseline(correctClients int64) float64 {
+	empty := scenario.MustNewSpace(scenario.Dimension{
+		Name: plugin.DimCorrectClients, Min: correctClients, Max: correctClients, Step: 1,
+	}).New(nil)
+	res, _ := r.execute(empty, correctClients, false)
+	return res.Throughput
 }
 
 var _ core.Warmer = (*Runner)(nil)
@@ -220,19 +211,11 @@ var _ core.Warmer = (*Runner)(nil)
 // campaign workers, measure the batch's missing baselines concurrently so
 // workers neither duplicate them nor serialize behind one another.
 func (r *Runner) Warm(batch []scenario.Scenario) {
-	counts := make(map[int64]bool, len(batch))
-	for _, sc := range batch {
-		counts[sc.GetOr(plugin.DimCorrectClients, 10)] = true
+	counts := make([]int64, len(batch))
+	for i, sc := range batch {
+		counts[i] = sc.GetOr(plugin.DimCorrectClients, 10)
 	}
-	var wg sync.WaitGroup
-	for c := range counts {
-		wg.Add(1)
-		go func(c int64) {
-			defer wg.Done()
-			r.Baseline(c)
-		}(c)
-	}
-	wg.Wait()
+	r.baselines.Warm(counts, r.measureBaseline)
 }
 
 // execute builds and runs one deployment. withFaults=false strips every
@@ -403,7 +386,7 @@ func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults 
 	}
 	res.CrashedReplicas = len(rep.CrashedReplicas)
 	res.ViewChanges = rep.ViewsInstalled
-	rep.P99Latency = percentile(lat.tail, 99)
+	rep.P99Latency = metrics.PercentileInPlace(lat.tail, 99)
 	return res, rep
 }
 
@@ -414,20 +397,6 @@ var tailPool = sync.Pool{New: func() any {
 	s := make([]time.Duration, 0, 4096)
 	return &s
 }}
-
-// percentile computes the nearest-rank percentile, reordering samples in
-// place (callers are done with the tail when they ask for percentiles).
-func percentile(samples []time.Duration, p float64) time.Duration {
-	if len(samples) == 0 {
-		return 0
-	}
-	slices.Sort(samples)
-	rank := int(p / 100 * float64(len(samples)))
-	if rank >= len(samples) {
-		rank = len(samples) - 1
-	}
-	return samples[rank]
-}
 
 // dropWindow drops sends from one address for call numbers in
 // [start, start+length) — the FaultPlan plugin's network fault.

@@ -299,7 +299,7 @@ func TestParallelSweepSafe(t *testing.T) {
 			}))
 		}
 	}
-	results := core.Sweep(scs, r, 8)
+	results := core.Sweep(scs, r, 8, "exhaustive")
 	if len(results) != len(scs) {
 		t.Fatalf("sweep returned %d results for %d scenarios", len(results), len(scs))
 	}

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"avd/internal/core"
+	"avd/internal/plugin"
+)
+
+// Target adapts the PBFT deployment harness to the protocol-agnostic
+// core.Target seam: the embedded Runner executes scenarios, Name
+// identifies the system under test, and Plugins declares the
+// fault-injection hooks an Engine explores by default (the paper's
+// MAC-corruption and deployment-shape tools).
+type Target struct {
+	*Runner
+	plugins []core.Plugin
+}
+
+var _ core.Target = (*Target)(nil)
+
+// NewTarget builds the PBFT system under test for a workload. With no
+// explicit plugins it exposes the paper's PBFT hyperspace — the 12-bit
+// Gray-coded MAC-corruption mask composed with the client-population
+// dimensions; pass plugins to widen or narrow the attack surface (e.g.
+// adding Reorder or SlowPrimary).
+func NewTarget(w Workload, plugins ...core.Plugin) (*Target, error) {
+	r, err := NewRunner(w)
+	if err != nil {
+		return nil, err
+	}
+	if len(plugins) == 0 {
+		plugins = []core.Plugin{plugin.NewMACCorrupt(), plugin.NewClients()}
+	}
+	return &Target{Runner: r, plugins: plugins}, nil
+}
+
+// Name implements core.Target.
+func (t *Target) Name() string { return "pbft" }
+
+// Plugins implements core.Target.
+func (t *Target) Plugins() []core.Plugin {
+	cp := make([]core.Plugin, len(t.plugins))
+	copy(cp, t.plugins)
+	return cp
+}

@@ -139,8 +139,13 @@ func ParallelCampaignWithObserver(ex Explorer, runner Runner, budget, workers in
 // Sweep executes every scenario of a feedback-free workload in parallel
 // across workers goroutines (tests are independent; the paper
 // re-initializes the system per test). Results are returned in input
-// order. A workers value <= 0 uses all CPUs.
-func Sweep(scenarios []scenario.Scenario, runner Runner, workers int) []Result {
+// order, stamped with the caller's generator label (empty leaves the
+// Generator field unset) — a sweep launched on behalf of an exhaustive
+// explorer passes "exhaustive", one launched by any other strategy
+// passes its own label, so results and CSV output name the exploration
+// step that actually produced each scenario. A workers value <= 0 uses
+// all CPUs.
+func Sweep(scenarios []scenario.Scenario, runner Runner, workers int, generator string) []Result {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -151,7 +156,7 @@ func Sweep(scenarios []scenario.Scenario, runner Runner, workers int) []Result {
 	if workers <= 1 {
 		for i, sc := range scenarios {
 			results[i] = runner.Run(sc)
-			results[i].Generator = "exhaustive"
+			results[i].Generator = generator
 		}
 		return results
 	}
@@ -163,7 +168,7 @@ func Sweep(scenarios []scenario.Scenario, runner Runner, workers int) []Result {
 			defer wg.Done()
 			for i := range next {
 				results[i] = runner.Run(scenarios[i])
-				results[i].Generator = "exhaustive"
+				results[i].Generator = generator
 			}
 		}()
 	}

@@ -330,8 +330,8 @@ func TestSweepMatchesSequential(t *testing.T) {
 	runner := RunnerFunc(func(sc scenario.Scenario) Result {
 		return Result{Scenario: sc, Impact: float64(sc.GetOr("x", 0))}
 	})
-	seq := Sweep(scs, runner, 1)
-	par := Sweep(scs, runner, 8)
+	seq := Sweep(scs, runner, 1, "exhaustive")
+	par := Sweep(scs, runner, 8, "exhaustive")
 	if len(seq) != len(par) {
 		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
 	}

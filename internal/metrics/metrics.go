@@ -6,9 +6,27 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 )
+
+// PercentileInPlace computes the nearest-rank percentile of samples,
+// sorting them in place — the hot-path variant for callers that are
+// done with the sample buffer (the per-test latency tails in the
+// cluster and raftsim harnesses). Latency.Percentile is the copying
+// variant for live accumulators.
+func PercentileInPlace(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	slices.Sort(samples)
+	rank := int(p / 100 * float64(len(samples)))
+	if rank >= len(samples) {
+		rank = len(samples) - 1
+	}
+	return samples[rank]
+}
 
 // Latency accumulates request latency observations. The zero value is
 // ready to use.

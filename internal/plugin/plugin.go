@@ -42,10 +42,12 @@ const (
 	DimSlowIntervalMS   = "slow_interval_ms"
 )
 
-// scaledDelta converts a mutateDistance in [0,1] into a step count in
+// ScaledDelta converts a mutateDistance in [0,1] into a step count in
 // [1, max]: distance 0 still moves by one (a mutation must change the
-// scenario), distance 1 can jump across the whole axis.
-func scaledDelta(distance float64, max int64, rng *rand.Rand) int64 {
+// scenario), distance 1 can jump across the whole axis. It is exported
+// for plugins living alongside their targets (e.g. internal/raftsim) to
+// share the same mutation-distance semantics.
+func ScaledDelta(distance float64, max int64, rng *rand.Rand) int64 {
 	if max < 1 {
 		max = 1
 	}
@@ -106,7 +108,7 @@ func (p *MACCorrupt) Mask(coord int64) uint64 {
 func (p *MACCorrupt) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
 	coord := parent.GetOr(DimMACMask, 0)
 	half := int64(uint64(1) << (p.Bits - 1))
-	delta := scaledDelta(distance, half, rng)
+	delta := ScaledDelta(distance, half, rng)
 	next := graycode.Step(uint64(coord), p.Bits, delta)
 	return parent.With(DimMACMask, int64(next))
 }
@@ -152,7 +154,7 @@ func (p *Clients) Mutate(parent scenario.Scenario, distance float64, rng *rand.R
 		parent = parent.With(DimMaliciousClients, next)
 	}
 	steps := (p.MaxCorrect - p.MinCorrect) / p.StepCorrect
-	delta := scaledDelta(distance, steps, rng)
+	delta := ScaledDelta(distance, steps, rng)
 	cur := parent.GetOr(DimCorrectClients, p.MinCorrect)
 	return parent.With(DimCorrectClients, cur+delta*p.StepCorrect)
 }
@@ -180,10 +182,10 @@ func (p *Reorder) Dimensions() []scenario.Dimension {
 // Mutate implements core.Plugin.
 func (p *Reorder) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
 	pct := parent.GetOr(DimReorderPct, 0)
-	out := parent.With(DimReorderPct, pct+5*scaledDelta(distance, 20, rng))
+	out := parent.With(DimReorderPct, pct+5*ScaledDelta(distance, 20, rng))
 	if distance > 0.5 || rng.Float64() < 0.25 {
 		delay := out.GetOr(DimReorderDelayMS, 0)
-		out = out.With(DimReorderDelayMS, delay+5*scaledDelta(distance, 10, rng))
+		out = out.With(DimReorderDelayMS, delay+5*ScaledDelta(distance, 10, rng))
 	}
 	return out
 }
@@ -217,10 +219,10 @@ func (p *FaultPlan) Dimensions() []scenario.Dimension {
 // Mutate implements core.Plugin.
 func (p *FaultPlan) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
 	call := parent.GetOr(DimDropCall, 0)
-	out := parent.With(DimDropCall, call+scaledDelta(distance, p.MaxCall/2, rng))
+	out := parent.With(DimDropCall, call+ScaledDelta(distance, p.MaxCall/2, rng))
 	if distance > 0.5 || rng.Float64() < 0.25 {
 		n := out.GetOr(DimDropLen, 0)
-		out = out.With(DimDropLen, n+scaledDelta(distance, 8, rng))
+		out = out.With(DimDropLen, n+ScaledDelta(distance, 8, rng))
 	}
 	return out
 }
@@ -255,7 +257,7 @@ func (p *SlowPrimary) Mutate(parent scenario.Scenario, distance float64, rng *ra
 		out = out.With(DimCollude, 1-out.GetOr(DimCollude, 0))
 	default:
 		cur := out.GetOr(DimSlowIntervalMS, 100)
-		out = out.With(DimSlowIntervalMS, cur+100*scaledDelta(distance, 24, rng))
+		out = out.With(DimSlowIntervalMS, cur+100*ScaledDelta(distance, 24, rng))
 	}
 	return out
 }

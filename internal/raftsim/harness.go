@@ -1,0 +1,349 @@
+package raftsim
+
+import (
+	"fmt"
+	"time"
+
+	"avd/internal/core"
+	"avd/internal/metrics"
+	"avd/internal/scenario"
+	"avd/internal/sim"
+	"avd/internal/simnet"
+)
+
+// Workload fixes everything about a Raft test that is not a hyperspace
+// dimension: protocol configuration, network model, timing, seeds. It is
+// the Raft analogue of cluster.Workload, and the impact metric is
+// computed identically — 0.8 x normalized throughput collapse + 0.2 x
+// latency inflation against LatencyRef — so impacts are comparable
+// across the two targets.
+type Workload struct {
+	// Raft is the protocol configuration shared by all nodes.
+	Raft Config
+	// Net is the simulated network model.
+	Net simnet.Config
+	// Seed drives all simulation randomness; a test is a deterministic
+	// function of (Workload, Scenario).
+	Seed int64
+	// Warmup runs before measurement starts (long enough to elect the
+	// first leader).
+	Warmup time.Duration
+	// Measure is the measurement window.
+	Measure time.Duration
+	// Client configures the closed-loop clients.
+	Client ClientConfig
+	// LatencyRef scales the latency component of the impact metric (see
+	// cluster.Workload.LatencyRef). Zero disables it.
+	LatencyRef time.Duration
+}
+
+// DefaultWorkload returns the Raft evaluation workload: 5 nodes,
+// sub-millisecond LAN, compressed timers, 2-second measurement window.
+func DefaultWorkload() Workload {
+	return Workload{
+		Raft:       DefaultConfig(),
+		Net:        simnet.Config{BaseLatency: 500 * time.Microsecond},
+		Seed:       1,
+		Warmup:     500 * time.Millisecond,
+		Measure:    2 * time.Second,
+		Client:     DefaultClientConfig(),
+		LatencyRef: 500 * time.Millisecond,
+	}
+}
+
+// Report carries the detailed outcome of one Raft test beyond the
+// core.Result impact summary.
+type Report struct {
+	Completed        uint64
+	ElectionsStarted uint64
+	MaxTerm          uint64
+	// LeaderChanged reports whether the leader at the end of the window
+	// differs from the one at its start.
+	LeaderChanged   bool
+	Redirects       uint64
+	Retransmissions uint64
+	P99Latency      time.Duration
+}
+
+// Runner executes scenarios against a fixed Raft workload. Like
+// cluster.Runner it caches attack-free baseline throughput per
+// correct-client count (the shared core.BaselineCache singleflight) and
+// is safe for concurrent use by parallel engine workers.
+type Runner struct {
+	w         Workload
+	baselines core.BaselineCache
+}
+
+// NewRunner returns a runner for the workload.
+func NewRunner(w Workload) (*Runner, error) {
+	if err := w.Raft.Validate(); err != nil {
+		return nil, err
+	}
+	if w.Measure <= 0 {
+		return nil, fmt.Errorf("raftsim: measurement window must be positive")
+	}
+	return &Runner{w: w}, nil
+}
+
+// Workload returns the runner's workload.
+func (r *Runner) Workload() Workload { return r.w }
+
+var _ core.Runner = (*Runner)(nil)
+
+// Run implements core.Runner.
+func (r *Runner) Run(sc scenario.Scenario) core.Result {
+	res, _ := r.RunReport(sc)
+	return res
+}
+
+// RunReport executes the scenario and returns both the impact result and
+// the detailed report.
+func (r *Runner) RunReport(sc scenario.Scenario) (core.Result, Report) {
+	clients := sc.GetOr(DimClients, 10)
+	res, rep := r.execute(sc, clients, true)
+	baseline := r.Baseline(clients)
+	res.BaselineThroughput = baseline
+	if baseline > 0 {
+		tputImpact := 1 - res.Throughput/baseline
+		if tputImpact < 0 {
+			tputImpact = 0
+		}
+		if tputImpact > 1 {
+			tputImpact = 1
+		}
+		if r.w.LatencyRef > 0 {
+			latImpact := float64(res.AvgLatency) / float64(r.w.LatencyRef)
+			if latImpact > 1 {
+				latImpact = 1
+			}
+			res.Impact = 0.8*tputImpact + 0.2*latImpact
+		} else {
+			res.Impact = tputImpact
+		}
+	}
+	return res, rep
+}
+
+// Baseline returns the attack-free throughput for a client count,
+// measuring and caching it on first use (singleflight per count).
+func (r *Runner) Baseline(clients int64) float64 {
+	return r.baselines.Get(clients, r.measureBaseline)
+}
+
+func (r *Runner) measureBaseline(clients int64) float64 {
+	empty := scenario.MustNewSpace(scenario.Dimension{
+		Name: DimClients, Min: clients, Max: clients, Step: 1,
+	}).New(nil)
+	res, _ := r.execute(empty, clients, false)
+	return res.Throughput
+}
+
+var _ core.Warmer = (*Runner)(nil)
+
+// Warm implements core.Warmer: measure a batch's missing baselines
+// concurrently before parallel workers need them.
+func (r *Runner) Warm(batch []scenario.Scenario) {
+	counts := make([]int64, len(batch))
+	for i, sc := range batch {
+		counts[i] = sc.GetOr(DimClients, 10)
+	}
+	r.baselines.Warm(counts, r.measureBaseline)
+}
+
+// leaderFlap is the network-level attacker of the LeaderFlap plugin: on
+// every interval tick it finds the node currently acting as leader and
+// severs its links to every peer for the down window, forcing the rest
+// of the cluster into an election. At most one node is isolated at a
+// time (an attacker with a single vantage point): ticks that land while
+// a victim is still down are skipped, so every isolation lasts the full
+// down window and the next strike hits the successor leader. Flapping
+// faster than the cluster can stabilize produces an election storm:
+// terms inflate, candidates split votes, and client requests redirect
+// in circles.
+type leaderFlap struct {
+	eng      *sim.Engine
+	net      *simnet.Network
+	nodes    []*Node
+	interval time.Duration
+	down     time.Duration
+	isolated int // node currently cut off, -1 when none
+	flaps    uint64
+}
+
+func (a *leaderFlap) start() {
+	a.isolated = -1
+	a.eng.Schedule(a.interval, a.strike)
+}
+
+func (a *leaderFlap) strike() {
+	if a.isolated < 0 {
+		victim := currentLeader(a.nodes)
+		if victim >= 0 {
+			a.isolated = victim
+			a.flaps++
+			for _, n := range a.nodes {
+				if n.ID() != victim {
+					a.net.BlockPair(simnet.Addr(victim), simnet.Addr(n.ID()))
+				}
+			}
+			a.eng.Schedule(a.down, a.heal)
+		}
+	}
+	a.eng.Schedule(a.interval, a.strike)
+}
+
+func (a *leaderFlap) heal() {
+	if a.isolated < 0 {
+		return
+	}
+	for _, n := range a.nodes {
+		if n.ID() != a.isolated {
+			a.net.UnblockPair(simnet.Addr(a.isolated), simnet.Addr(n.ID()))
+		}
+	}
+	a.isolated = -1
+}
+
+// execute builds and runs one deployment. withFaults=false strips the
+// attacker (baseline measurement).
+func (r *Runner) execute(sc scenario.Scenario, clients int64, withFaults bool) (core.Result, Report) {
+	w := r.w
+	eng := sim.New(w.Seed)
+	net := simnet.New(eng, w.Net)
+
+	nodes := make([]*Node, 0, w.Raft.N)
+	for i := 0; i < w.Raft.N; i++ {
+		n, err := NewNode(i, w.Raft, net)
+		if err != nil {
+			panic(fmt.Sprintf("raftsim: node construction: %v", err)) // config was validated
+		}
+		nodes = append(nodes, n)
+	}
+
+	measuring := false
+	var completed uint64
+	var lat struct {
+		sum  time.Duration
+		n    uint64
+		tail []time.Duration
+	}
+	onComplete := func(seq uint64, latency time.Duration) {
+		if !measuring {
+			return
+		}
+		completed++
+		lat.sum += latency
+		lat.n++
+		lat.tail = append(lat.tail, latency)
+	}
+
+	cs := make([]*Client, 0, clients)
+	nextAddr := simnet.Addr(w.Raft.N)
+	for i := int64(0); i < clients; i++ {
+		c, err := NewClient(nextAddr, w.Raft, w.Client, net, WithOnComplete(onComplete))
+		if err != nil {
+			panic(fmt.Sprintf("raftsim: client construction: %v", err))
+		}
+		nextAddr++
+		cs = append(cs, c)
+	}
+
+	flapInterval := time.Duration(sc.GetOr(DimFlapIntervalMS, 0)) * time.Millisecond
+	flapDown := time.Duration(sc.GetOr(DimFlapDownMS, 0)) * time.Millisecond
+	if withFaults && flapInterval > 0 && flapDown > 0 {
+		attacker := &leaderFlap{eng: eng, net: net, nodes: nodes, interval: flapInterval, down: flapDown}
+		attacker.start()
+	}
+
+	for _, n := range nodes {
+		n.Start()
+	}
+	for _, c := range cs {
+		c.Start()
+	}
+
+	eng.RunFor(w.Warmup)
+	measuring = true
+	leaderBefore := currentLeader(nodes)
+	eng.RunFor(w.Measure)
+	measuring = false
+	leaderAfter := currentLeader(nodes)
+
+	// Censored latency for requests still stuck at window end.
+	end := eng.Now()
+	for _, c := range cs {
+		if sentAt, ok := c.Outstanding(); ok {
+			if waited := end.Sub(sentAt); waited > 0 {
+				lat.sum += waited
+				lat.n++
+				lat.tail = append(lat.tail, waited)
+			}
+		}
+	}
+
+	res := core.Result{Scenario: sc}
+	res.Throughput = float64(completed) / w.Measure.Seconds()
+	if lat.n > 0 {
+		res.AvgLatency = lat.sum / time.Duration(lat.n)
+	}
+	rep := Report{Completed: completed, LeaderChanged: leaderBefore != leaderAfter}
+	for _, n := range nodes {
+		st := n.Stats()
+		rep.ElectionsStarted += st.ElectionsStarted
+		rep.Redirects += st.Redirects
+		if st.TermsSeen > rep.MaxTerm {
+			rep.MaxTerm = st.TermsSeen
+		}
+	}
+	for _, c := range cs {
+		rep.Retransmissions += c.Stats().Retransmissions
+	}
+	res.ViewChanges = rep.ElectionsStarted // terms are Raft's "views"
+	rep.P99Latency = metrics.PercentileInPlace(lat.tail, 99)
+	return res, rep
+}
+
+// currentLeader returns the id of the highest-term node acting as
+// leader, or -1 when none is.
+func currentLeader(nodes []*Node) int {
+	best, bestTerm := -1, uint64(0)
+	for _, n := range nodes {
+		if n.IsLeader() && (best < 0 || n.Term() > bestTerm) {
+			best, bestTerm = n.ID(), n.Term()
+		}
+	}
+	return best
+}
+
+// Target adapts the Raft harness to the protocol-agnostic core.Target
+// seam, mirroring cluster.Target.
+type Target struct {
+	*Runner
+	plugins []core.Plugin
+}
+
+var _ core.Target = (*Target)(nil)
+
+// NewTarget builds the Raft system under test for a workload. With no
+// explicit plugins it exposes the default Raft hyperspace: the client
+// population composed with the leader-flap attack dimensions.
+func NewTarget(w Workload, plugins ...core.Plugin) (*Target, error) {
+	r, err := NewRunner(w)
+	if err != nil {
+		return nil, err
+	}
+	if len(plugins) == 0 {
+		plugins = []core.Plugin{NewClientsPlugin(), NewLeaderFlapPlugin()}
+	}
+	return &Target{Runner: r, plugins: plugins}, nil
+}
+
+// Name implements core.Target.
+func (t *Target) Name() string { return "raft" }
+
+// Plugins implements core.Target.
+func (t *Target) Plugins() []core.Plugin {
+	cp := make([]core.Plugin, len(t.plugins))
+	copy(cp, t.plugins)
+	return cp
+}

@@ -1,0 +1,532 @@
+// Package raftsim is AVD's second system under test: a minimal Raft
+// (leader election + log replication, Ongaro & Ousterhout 2014) running
+// over the same deterministic sim/simnet engines as the PBFT deployment.
+//
+// Its purpose in this repository is architectural: the paper's
+// controller is system-agnostic, and raftsim proves the core.Target seam
+// is real — the same Controller/Genetic explorers that find the Big MAC
+// attack against PBFT find election-storm scenarios against Raft without
+// a single line of search code changing. The attack surface exposed here
+// is a network-level attacker who can periodically isolate the current
+// leader (the LeaderFlap plugin): flapping the leader at the right
+// cadence keeps the cluster in perpetual elections, collapsing the
+// throughput observed by correct clients.
+package raftsim
+
+import (
+	"fmt"
+	"time"
+
+	"avd/internal/sim"
+	"avd/internal/simnet"
+)
+
+// Config is the Raft protocol configuration shared by all nodes.
+type Config struct {
+	// N is the cluster size (majorities are N/2+1).
+	N int
+	// HeartbeatInterval is the leader's AppendEntries period.
+	HeartbeatInterval time.Duration
+	// ElectionTimeoutMin/Max bound the randomized election timeout each
+	// node draws after hearing from a leader or candidate.
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+}
+
+// DefaultConfig returns a 5-node cluster with timers compressed the same
+// way as the PBFT workload (EXPERIMENTS.md): tens of milliseconds
+// instead of the textbook hundreds, so a 2-second measurement window
+// spans many heartbeat and election-timeout periods.
+func DefaultConfig() Config {
+	return Config{
+		N:                  5,
+		HeartbeatInterval:  25 * time.Millisecond,
+		ElectionTimeoutMin: 150 * time.Millisecond,
+		ElectionTimeoutMax: 300 * time.Millisecond,
+	}
+}
+
+// Validate reports structural problems with the configuration.
+func (c Config) Validate() error {
+	if c.N < 3 {
+		return fmt.Errorf("raftsim: cluster size %d needs at least 3 nodes", c.N)
+	}
+	if c.HeartbeatInterval <= 0 {
+		return fmt.Errorf("raftsim: heartbeat interval must be positive")
+	}
+	if c.ElectionTimeoutMin <= c.HeartbeatInterval {
+		return fmt.Errorf("raftsim: election timeout min %v must exceed heartbeat interval %v",
+			c.ElectionTimeoutMin, c.HeartbeatInterval)
+	}
+	if c.ElectionTimeoutMax <= c.ElectionTimeoutMin {
+		return fmt.Errorf("raftsim: election timeout max %v must exceed min %v",
+			c.ElectionTimeoutMax, c.ElectionTimeoutMin)
+	}
+	return nil
+}
+
+// Entry is one replicated log entry: a client request awaiting
+// commitment.
+type Entry struct {
+	Term   uint64
+	Client simnet.Addr
+	Seq    uint64
+}
+
+// --- Wire messages ----------------------------------------------------------
+
+// RequestVote solicits a vote for an election (Raft §5.2).
+type RequestVote struct {
+	Term         uint64
+	Candidate    int
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+// RequestVoteReply answers a RequestVote.
+type RequestVoteReply struct {
+	Term    uint64
+	From    int
+	Granted bool
+}
+
+// AppendEntries replicates log entries and doubles as the heartbeat
+// (Raft §5.3).
+type AppendEntries struct {
+	Term         uint64
+	Leader       int
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	LeaderCommit uint64
+}
+
+// AppendEntriesReply answers an AppendEntries.
+type AppendEntriesReply struct {
+	Term       uint64
+	From       int
+	Success    bool
+	MatchIndex uint64
+}
+
+// ClientRequest is a client's closed-loop request addressed to the node
+// it believes is the leader.
+type ClientRequest struct {
+	Client simnet.Addr
+	Seq    uint64
+}
+
+// ClientReply answers a ClientRequest: OK once the entry is committed
+// and applied, or a redirect carrying the replier's leader hint
+// (Leader < 0 when unknown).
+type ClientReply struct {
+	Seq    uint64
+	OK     bool
+	Leader int
+}
+
+// --- Node -------------------------------------------------------------------
+
+type role int
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+// NodeStats counts protocol activity at one node.
+type NodeStats struct {
+	// ElectionsStarted counts transitions to candidate (election storms
+	// show up here).
+	ElectionsStarted uint64
+	// VotesGranted counts votes this node granted to others.
+	VotesGranted uint64
+	// TermsSeen is the highest term the node has entered.
+	TermsSeen uint64
+	// EntriesApplied counts log entries applied to the state machine.
+	EntriesApplied uint64
+	// Redirects counts client requests answered with a leader hint.
+	Redirects uint64
+	// AppendsRejected counts failed AppendEntries consistency checks.
+	AppendsRejected uint64
+}
+
+// Node is one Raft server. All methods run on the simulation goroutine.
+type Node struct {
+	id  int
+	cfg Config
+	eng *sim.Engine
+	net *simnet.Network
+
+	role     role
+	term     uint64
+	votedFor int // -1 = none this term
+	leader   int // -1 = unknown
+	log      []Entry
+	commit   uint64
+	applied  uint64
+
+	votes      map[int]bool
+	nextIndex  []uint64
+	matchIndex []uint64
+
+	electionTimer  sim.Timer
+	heartbeatTimer sim.Timer
+	electionFn     func()
+	heartbeatFn    func()
+
+	// lastSeq deduplicates client requests at apply time: retransmitted
+	// requests re-enter the log but mutate the state machine once.
+	lastSeq map[simnet.Addr]uint64
+	// pending tracks the highest uncommitted seq appended per client, so
+	// a retransmission of an in-flight request is not appended twice.
+	pending map[simnet.Addr]uint64
+
+	stats NodeStats
+}
+
+// NewNode creates node id (address id on the network) and registers its
+// message handler.
+func NewNode(id int, cfg Config, net *simnet.Network) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= cfg.N {
+		return nil, fmt.Errorf("raftsim: node id %d out of range [0,%d)", id, cfg.N)
+	}
+	n := &Node{
+		id:       id,
+		cfg:      cfg,
+		eng:      net.Engine(),
+		net:      net,
+		votedFor: -1,
+		leader:   -1,
+		votes:    make(map[int]bool),
+		lastSeq:  make(map[simnet.Addr]uint64),
+		pending:  make(map[simnet.Addr]uint64),
+	}
+	n.electionFn = n.onElectionTimeout
+	n.heartbeatFn = n.onHeartbeat
+	net.Handle(simnet.Addr(id), n.onMessage)
+	return n, nil
+}
+
+// Start arms the initial election timer.
+func (n *Node) Start() { n.resetElectionTimer() }
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Term returns the node's current term.
+func (n *Node) Term() uint64 { return n.term }
+
+// IsLeader reports whether the node currently believes it is leader.
+func (n *Node) IsLeader() bool { return n.role == leader }
+
+// Leader returns the node's current leader hint (-1 when unknown).
+func (n *Node) Leader() int { return n.leader }
+
+// Commit returns the node's commit index.
+func (n *Node) Commit() uint64 { return n.commit }
+
+// LogLen returns the node's log length.
+func (n *Node) LogLen() int { return len(n.log) }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+func (n *Node) electionTimeout() time.Duration {
+	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	return n.cfg.ElectionTimeoutMin + time.Duration(n.eng.Rand().Int63n(int64(span)))
+}
+
+func (n *Node) resetElectionTimer() {
+	n.electionTimer.Stop()
+	n.electionTimer = n.eng.Schedule(n.electionTimeout(), n.electionFn)
+}
+
+func (n *Node) lastLog() (index, term uint64) {
+	if len(n.log) == 0 {
+		return 0, 0
+	}
+	return uint64(len(n.log)), n.log[len(n.log)-1].Term
+}
+
+// stepDown adopts a higher term as follower.
+func (n *Node) stepDown(term uint64) {
+	if term > n.term {
+		n.term = term
+		n.votedFor = -1
+		if term > n.stats.TermsSeen {
+			n.stats.TermsSeen = term
+		}
+	}
+	if n.role == leader {
+		n.heartbeatTimer.Stop()
+	}
+	n.role = follower
+	n.resetElectionTimer()
+}
+
+// onElectionTimeout starts an election (Raft §5.2).
+func (n *Node) onElectionTimeout() {
+	if n.role == leader {
+		return
+	}
+	n.role = candidate
+	n.term++
+	if n.term > n.stats.TermsSeen {
+		n.stats.TermsSeen = n.term
+	}
+	n.votedFor = n.id
+	n.leader = -1
+	n.stats.ElectionsStarted++
+	clear(n.votes)
+	n.votes[n.id] = true
+	lastIdx, lastTerm := n.lastLog()
+	rv := &RequestVote{Term: n.term, Candidate: n.id, LastLogIndex: lastIdx, LastLogTerm: lastTerm}
+	for peer := 0; peer < n.cfg.N; peer++ {
+		if peer != n.id {
+			n.net.Send(simnet.Addr(n.id), simnet.Addr(peer), rv)
+		}
+	}
+	n.resetElectionTimer()
+}
+
+func (n *Node) becomeLeader() {
+	n.role = leader
+	n.leader = n.id
+	n.electionTimer.Stop()
+	lastIdx, _ := n.lastLog()
+	n.nextIndex = make([]uint64, n.cfg.N)
+	n.matchIndex = make([]uint64, n.cfg.N)
+	for i := range n.nextIndex {
+		n.nextIndex[i] = lastIdx + 1
+	}
+	n.matchIndex[n.id] = lastIdx
+	clear(n.pending)
+	n.broadcastAppend()
+	n.heartbeatTimer.Stop()
+	n.heartbeatTimer = n.eng.Schedule(n.cfg.HeartbeatInterval, n.heartbeatFn)
+}
+
+func (n *Node) onHeartbeat() {
+	if n.role != leader {
+		return
+	}
+	n.broadcastAppend()
+	n.heartbeatTimer = n.eng.Schedule(n.cfg.HeartbeatInterval, n.heartbeatFn)
+}
+
+// broadcastAppend sends each follower the entries from its nextIndex
+// (empty when caught up: a pure heartbeat).
+func (n *Node) broadcastAppend() {
+	for peer := 0; peer < n.cfg.N; peer++ {
+		if peer != n.id {
+			n.sendAppend(peer)
+		}
+	}
+}
+
+func (n *Node) sendAppend(peer int) {
+	next := n.nextIndex[peer]
+	if next < 1 {
+		next = 1
+	}
+	prevIdx := next - 1
+	var prevTerm uint64
+	if prevIdx > 0 {
+		prevTerm = n.log[prevIdx-1].Term
+	}
+	var entries []Entry
+	if uint64(len(n.log)) >= next {
+		// Copy: the message outlives this call and the log's backing
+		// array is mutated in place on truncation after a step-down.
+		entries = append(entries, n.log[next-1:]...)
+	}
+	n.net.Send(simnet.Addr(n.id), simnet.Addr(peer), &AppendEntries{
+		Term:         n.term,
+		Leader:       n.id,
+		PrevLogIndex: prevIdx,
+		PrevLogTerm:  prevTerm,
+		Entries:      entries,
+		LeaderCommit: n.commit,
+	})
+}
+
+func (n *Node) onMessage(from simnet.Addr, payload any) {
+	switch m := payload.(type) {
+	case *RequestVote:
+		n.onRequestVote(m)
+	case *RequestVoteReply:
+		n.onRequestVoteReply(m)
+	case *AppendEntries:
+		n.onAppendEntries(m)
+	case *AppendEntriesReply:
+		n.onAppendEntriesReply(m)
+	case *ClientRequest:
+		n.onClientRequest(m)
+	}
+}
+
+func (n *Node) onRequestVote(m *RequestVote) {
+	if m.Term > n.term {
+		n.stepDown(m.Term)
+	}
+	granted := false
+	if m.Term == n.term && (n.votedFor == -1 || n.votedFor == m.Candidate) {
+		// Up-to-date check (Raft §5.4.1).
+		lastIdx, lastTerm := n.lastLog()
+		if m.LastLogTerm > lastTerm || (m.LastLogTerm == lastTerm && m.LastLogIndex >= lastIdx) {
+			granted = true
+			n.votedFor = m.Candidate
+			n.stats.VotesGranted++
+			n.resetElectionTimer()
+		}
+	}
+	n.net.Send(simnet.Addr(n.id), simnet.Addr(m.Candidate),
+		&RequestVoteReply{Term: n.term, From: n.id, Granted: granted})
+}
+
+func (n *Node) onRequestVoteReply(m *RequestVoteReply) {
+	if m.Term > n.term {
+		n.stepDown(m.Term)
+		return
+	}
+	if n.role != candidate || m.Term != n.term || !m.Granted {
+		return
+	}
+	n.votes[m.From] = true
+	if len(n.votes) >= n.cfg.N/2+1 {
+		n.becomeLeader()
+	}
+}
+
+func (n *Node) onAppendEntries(m *AppendEntries) {
+	if m.Term > n.term || (m.Term == n.term && n.role != follower) {
+		n.stepDown(m.Term)
+	}
+	if m.Term < n.term {
+		n.net.Send(simnet.Addr(n.id), simnet.Addr(m.Leader),
+			&AppendEntriesReply{Term: n.term, From: n.id, Success: false})
+		return
+	}
+	n.leader = m.Leader
+	n.resetElectionTimer()
+	// Consistency check.
+	if m.PrevLogIndex > 0 {
+		if uint64(len(n.log)) < m.PrevLogIndex || n.log[m.PrevLogIndex-1].Term != m.PrevLogTerm {
+			n.stats.AppendsRejected++
+			n.net.Send(simnet.Addr(n.id), simnet.Addr(m.Leader),
+				&AppendEntriesReply{Term: n.term, From: n.id, Success: false})
+			return
+		}
+	}
+	// Append new entries, truncating on conflict (Raft §5.3).
+	idx := m.PrevLogIndex
+	for _, e := range m.Entries {
+		idx++
+		if uint64(len(n.log)) >= idx {
+			if n.log[idx-1].Term != e.Term {
+				n.log = n.log[:idx-1]
+				n.log = append(n.log, e)
+			}
+		} else {
+			n.log = append(n.log, e)
+		}
+	}
+	if m.LeaderCommit > n.commit {
+		last := uint64(len(n.log))
+		if m.LeaderCommit < last {
+			n.commit = m.LeaderCommit
+		} else {
+			n.commit = last
+		}
+		n.applyCommitted()
+	}
+	n.net.Send(simnet.Addr(n.id), simnet.Addr(m.Leader),
+		&AppendEntriesReply{Term: n.term, From: n.id, Success: true, MatchIndex: idx})
+}
+
+func (n *Node) onAppendEntriesReply(m *AppendEntriesReply) {
+	if m.Term > n.term {
+		n.stepDown(m.Term)
+		return
+	}
+	if n.role != leader || m.Term != n.term {
+		return
+	}
+	if !m.Success {
+		if n.nextIndex[m.From] > 1 {
+			n.nextIndex[m.From]--
+		}
+		n.sendAppend(m.From)
+		return
+	}
+	if m.MatchIndex > n.matchIndex[m.From] {
+		n.matchIndex[m.From] = m.MatchIndex
+		n.nextIndex[m.From] = m.MatchIndex + 1
+		n.advanceCommit()
+	}
+}
+
+// advanceCommit commits the highest current-term index replicated on a
+// majority (Raft §5.4.2: only current-term entries commit by counting).
+func (n *Node) advanceCommit() {
+	last, _ := n.lastLog()
+	for idx := last; idx > n.commit; idx-- {
+		if n.log[idx-1].Term != n.term {
+			break
+		}
+		count := 0
+		for peer := 0; peer < n.cfg.N; peer++ {
+			if n.matchIndex[peer] >= idx {
+				count++
+			}
+		}
+		if count >= n.cfg.N/2+1 {
+			n.commit = idx
+			n.applyCommitted()
+			break
+		}
+	}
+}
+
+// applyCommitted applies newly committed entries; the leader answers the
+// owning clients.
+func (n *Node) applyCommitted() {
+	for n.applied < n.commit {
+		n.applied++
+		e := n.log[n.applied-1]
+		if e.Seq > n.lastSeq[e.Client] {
+			n.lastSeq[e.Client] = e.Seq
+			n.stats.EntriesApplied++
+		}
+		delete(n.pending, e.Client)
+		if n.role == leader {
+			n.net.Send(simnet.Addr(n.id), e.Client, &ClientReply{Seq: e.Seq, OK: true, Leader: n.id})
+		}
+	}
+}
+
+func (n *Node) onClientRequest(m *ClientRequest) {
+	if n.role != leader {
+		n.stats.Redirects++
+		n.net.Send(simnet.Addr(n.id), m.Client, &ClientReply{Seq: m.Seq, OK: false, Leader: n.leader})
+		return
+	}
+	// Already applied (a late retransmission): answer immediately.
+	if m.Seq <= n.lastSeq[m.Client] {
+		n.net.Send(simnet.Addr(n.id), m.Client, &ClientReply{Seq: m.Seq, OK: true, Leader: n.id})
+		return
+	}
+	// Already in flight: the apply path will answer.
+	if m.Seq <= n.pending[m.Client] {
+		return
+	}
+	n.pending[m.Client] = m.Seq
+	n.log = append(n.log, Entry{Term: n.term, Client: m.Client, Seq: m.Seq})
+	n.matchIndex[n.id] = uint64(len(n.log))
+	n.broadcastAppend()
+}
