@@ -19,7 +19,14 @@
 // complete PBFT implementation (the paper's case study: Big MAC attack,
 // slow-primary bug, Figures 2 and 3) and a minimal Raft, both over the
 // same deterministic discrete-event simulator — so the whole evaluation
-// runs on a single machine:
+// runs on a single machine.
+//
+// Every run is additionally observed by protocol oracles (agreement,
+// committed-entry durability, election safety): a Result carries the
+// invariants the run provably violated alongside its numeric impact,
+// and Minimize delta-debugs any vulnerable scenario down to a minimal
+// fault schedule that still trips the same oracle or holds the impact
+// threshold. Example campaign:
 //
 //	target, _ := avd.NewPBFTTarget(avd.DefaultWorkload())
 //	eng, _ := avd.NewEngine(target, avd.WithSeed(1), avd.WithBudget(125))
@@ -39,6 +46,7 @@ package avd
 import (
 	"avd/internal/cluster"
 	"avd/internal/core"
+	"avd/internal/oracle"
 	"avd/internal/plugin"
 	"avd/internal/raftsim"
 	"avd/internal/scenario"
@@ -102,6 +110,23 @@ type (
 	RaftTarget = raftsim.Target
 	// RaftReport is the detailed outcome of one Raft test.
 	RaftReport = raftsim.Report
+	// Violation is one protocol invariant a run's oracles saw broken,
+	// carried on Result.Violations.
+	Violation = oracle.Violation
+	// OracleEvent is one protocol observation (commit, leadership) the
+	// targets emit to their oracles during a run.
+	OracleEvent = oracle.Event
+	// OracleChecker folds a run's event stream into violations; the
+	// shipped targets wire agreement/durability (both) and election
+	// safety (Raft) checkers into every run.
+	OracleChecker = oracle.Checker
+	// MinimizeConfig tunes scenario minimization.
+	MinimizeConfig = core.MinimizeConfig
+	// MinimizeStep reports one probed candidate during minimization.
+	MinimizeStep = core.MinimizeStep
+	// Minimization is the outcome of Minimize: the original result, the
+	// minimal reproduction, and the probes spent.
+	Minimization = core.Minimization
 )
 
 // NewController builds the AVD controller over the plugins' composed
@@ -199,6 +224,16 @@ func ParallelCampaign(ex Explorer, runner Runner, budget, workers int) []Result 
 // core-level sweeps with an explicit generator label.
 func Sweep(scenarios []Scenario, runner Runner, workers int) []Result {
 	return core.Sweep(scenarios, runner, workers, "exhaustive")
+}
+
+// Minimize delta-debugs a vulnerable scenario down to a minimal
+// reproduction: it re-runs deterministically reduced variants of the
+// scenario's fault schedule (dropping and shortening fault dimensions)
+// and keeps only reductions that still trip one of the same oracle
+// invariants — or, for purely quantitative findings, still hold the
+// impact threshold. See core.Minimize for the algorithm.
+func Minimize(runner Runner, original Result, cfg MinimizeConfig) (Minimization, error) {
+	return core.Minimize(runner, original, cfg)
 }
 
 // BestSoFar maps results to their running best by impact.

@@ -34,6 +34,9 @@ func main() {
 		csvPath    = flag.String("csv", "", "write per-test results to this CSV file")
 		topN       = flag.Int("top", 5, "print the N best attacks found")
 		quiet      = flag.Bool("quiet", false, "suppress per-test progress output")
+		minimize   = flag.Bool("minimize", false, "delta-debug the best attack found down to a minimal fault schedule that still reproduces it")
+		minThresh  = flag.Float64("minthreshold", 0, "impact a minimized scenario must keep when no oracle was violated (0 = 90% of the original's impact)")
+		minRuns    = flag.Int("minruns", 256, "re-execution budget for -minimize")
 	)
 	flag.Parse()
 
@@ -71,9 +74,9 @@ func main() {
 	}
 	if !*quiet {
 		opts = append(opts, core.WithObserver(func(i int, res core.Result) {
-			fmt.Printf("%4d impact=%.3f tput=%8.0f lat=%-10v %s (%s)\n",
+			fmt.Printf("%4d impact=%.3f tput=%8.0f lat=%-10v %s (%s)%s\n",
 				i, res.Impact, res.Throughput, res.AvgLatency.Round(time.Millisecond),
-				res.Scenario.Key(), res.Generator)
+				res.Scenario.Key(), res.Generator, violationSuffix(res))
 		}))
 	}
 	eng, err := core.NewEngine(target, opts...)
@@ -115,9 +118,13 @@ func main() {
 	fmt.Printf("\ntop %d attacks:\n", n)
 	for i := 0; i < n; i++ {
 		r := best[i]
-		fmt.Printf("  %d. impact=%.3f tput=%.0f req/s lat=%v crash=%d  %s\n",
+		fmt.Printf("  %d. impact=%.3f tput=%.0f req/s lat=%v crash=%d  %s%s\n",
 			i+1, r.Impact, r.Throughput, r.AvgLatency.Round(time.Millisecond),
-			r.CrashedReplicas, r.Scenario.Key())
+			r.CrashedReplicas, r.Scenario.Key(), violationSuffix(r))
+	}
+
+	if *minimize {
+		runMinimize(target, results, *minThresh, *minRuns)
 	}
 
 	if *csvPath != "" {
@@ -132,6 +139,68 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+// violationSuffix renders a result's violated invariants for progress
+// lines, empty when the run broke nothing.
+func violationSuffix(res core.Result) string {
+	if len(res.Violations) == 0 {
+		return ""
+	}
+	parts := make([]string, len(res.Violations))
+	for i, v := range res.Violations {
+		parts[i] = v.Invariant
+	}
+	return " VIOLATES " + strings.Join(parts, ",")
+}
+
+// runMinimize delta-debugs the campaign's most vulnerable result — a
+// scenario with oracle violations beats any violation-free impact — and
+// prints the reduction walkthrough.
+func runMinimize(target core.Target, results []core.Result, threshold float64, maxRuns int) {
+	pick := results[0]
+	for _, r := range results[1:] {
+		if len(r.Violations) != len(pick.Violations) {
+			if len(r.Violations) > len(pick.Violations) {
+				pick = r
+			}
+			continue
+		}
+		if r.Impact > pick.Impact {
+			pick = r
+		}
+	}
+
+	fmt.Printf("\nminimizing %s (impact=%.3f weight=%d)%s\n",
+		pick.Scenario.Key(), pick.Impact, pick.Scenario.Weight(), violationSuffix(pick))
+	m, err := core.Minimize(target, pick, core.MinimizeConfig{
+		ImpactThreshold: threshold,
+		MaxRuns:         maxRuns,
+		Observer: func(step core.MinimizeStep) {
+			verdict := "rejected"
+			if step.Accepted {
+				verdict = "accepted"
+			}
+			fmt.Printf("  probe %-16s impact=%.3f weight=%d %s%s\n",
+				step.Dimension, step.Result.Impact, step.Result.Scenario.Weight(),
+				verdict, violationSuffix(step.Result))
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd: minimize:", err)
+		return
+	}
+	fmt.Printf("minimal reproduction after %d runs: %s (impact=%.3f weight=%d, was %d)%s\n",
+		m.Runs, m.Minimal.Scenario.Key(), m.Minimal.Impact,
+		m.Minimal.Scenario.Weight(), m.Original.Scenario.Weight(), violationSuffix(m.Minimal))
+	if len(m.Invariants) > 0 {
+		fmt.Printf("  still violates: %s\n", strings.Join(m.Invariants, ", "))
+	} else {
+		fmt.Printf("  still holds impact >= %.3f\n", m.ImpactThreshold)
+	}
+	if !m.Reduced {
+		fmt.Println("  (already minimal: no probed reduction reproduces)")
 	}
 }
 

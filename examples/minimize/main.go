@@ -1,0 +1,64 @@
+// Example minimize: from a discovered election storm to a minimal
+// witness.
+//
+// A campaign against the Raft target converges on leader-flap scenarios
+// that collapse throughput, but the discovered point over-specifies the
+// attack: the client population sits wherever the explorer wandered and
+// the flap dimensions are larger than the storm needs. avd.Minimize
+// delta-debugs the fault schedule — dropping and shortening dimensions,
+// re-running each candidate deterministically — until no single probed
+// reduction still reproduces the vulnerability.
+//
+//	go run ./examples/minimize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avd"
+)
+
+func main() {
+	w := avd.DefaultRaftWorkload()
+	target, err := avd.NewRaftTarget(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space, err := avd.SpaceOf(target.Plugins()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An election-storm scenario as a campaign typically finds it: a big
+	// client population, the leader isolated for 400 ms every 100 ms.
+	storm := space.New(map[string]int64{
+		avd.DimRaftClients:    50,
+		avd.DimFlapIntervalMS: 100,
+		avd.DimFlapDownMS:     400,
+	})
+	original := target.Run(storm)
+	fmt.Printf("discovered: %s\n  impact=%.3f tput=%.0f req/s weight=%d\n",
+		original.Scenario.Key(), original.Impact, original.Throughput, original.Scenario.Weight())
+
+	m, err := avd.Minimize(target, original, avd.MinimizeConfig{
+		Observer: func(step avd.MinimizeStep) {
+			verdict := "rejected"
+			if step.Accepted {
+				verdict = "accepted"
+			}
+			fmt.Printf("  probe %-16s -> impact=%.3f weight=%-3d %s\n",
+				step.Dimension, step.Result.Impact, step.Result.Scenario.Weight(), verdict)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("minimal reproduction (%d runs): %s\n  impact=%.3f weight=%d (was %d)\n",
+		m.Runs, m.Minimal.Scenario.Key(), m.Minimal.Impact,
+		m.Minimal.Scenario.Weight(), m.Original.Scenario.Weight())
+	if !m.Reduced {
+		fmt.Println("  already minimal")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"avd/internal/graycode"
 	"avd/internal/mac"
 	"avd/internal/metrics"
+	"avd/internal/oracle"
 	"avd/internal/pbft"
 	"avd/internal/plugin"
 	"avd/internal/scenario"
@@ -75,6 +76,12 @@ type Workload struct {
 	// exactly as minimizing "average throughput observed by the correct
 	// clients" does in §6.
 	ReferenceThroughput float64
+	// Equivocate injects an equivocating primary (replica 0 proposes
+	// conflicting batches for the same sequence number) for oracle
+	// validation. On its own, correct quorums absorb the equivocation;
+	// combined with PBFT.QuorumBug it produces an executed agreement
+	// violation that the run's oracles report on the Result.
+	Equivocate bool
 }
 
 // DefaultWorkload returns the Figure-2/3 workload: 4 replicas (f=1),
@@ -248,12 +255,25 @@ func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults 
 		net.AddInterceptor(simnet.NewReorderer(w.Seed+7, float64(reorderPct)/100, reorderDelay))
 	}
 
+	// Protocol oracles observe every replica's executions: no two
+	// replicas may commit different batches at one sequence number
+	// (agreement), and no replica may overwrite its own committed
+	// history (durability).
+	oracles := oracle.NewSet(oracle.NewAgreement("pbft"))
+
 	// Replicas.
-	byz := &pbft.ByzantineBehavior{SlowPrimary: true, SlowInterval: slowInterval}
+	equivocate := withFaults && w.Equivocate
+	byz := &pbft.ByzantineBehavior{SlowPrimary: slowPrimary, SlowInterval: slowInterval, Equivocate: equivocate}
 	replicas := make([]*pbft.Replica, 0, w.PBFT.N)
 	for i := 0; i < w.PBFT.N; i++ {
-		opts := []pbft.ReplicaOption{pbft.WithCrashOnBadReproposal(w.CrashOnBadReproposal)}
-		if i == 0 && slowPrimary {
+		id := i
+		opts := []pbft.ReplicaOption{
+			pbft.WithCrashOnBadReproposal(w.CrashOnBadReproposal),
+			pbft.WithCommitObserver(func(seq, digest uint64) {
+				oracles.Observe(oracle.Event{Kind: oracle.EventCommit, Node: id, Seq: seq, Digest: digest})
+			}),
+		}
+		if i == 0 && (slowPrimary || equivocate) {
 			opts = append(opts, pbft.WithByzantine(byz))
 		}
 		rep, err := pbft.NewReplica(i, w.PBFT, net, keyring, opts...)
@@ -387,6 +407,7 @@ func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults 
 	res.CrashedReplicas = len(rep.CrashedReplicas)
 	res.ViewChanges = rep.ViewsInstalled
 	rep.P99Latency = metrics.PercentileInPlace(lat.tail, 99)
+	res.Violations = oracles.Finish()
 	return res, rep
 }
 

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"avd/internal/oracle"
+	"avd/internal/scenario"
+)
+
+// The checkpoint wire format is a line-oriented text encoding, one
+// result per "r" line followed by one "v" line per violation:
+//
+//	avd-checkpoint v1
+//	r <key-hi> <key-lo> <impact> <tput> <baseline> <latency-ns> <crashed> <views> <generator>
+//	v <count> <invariant> <detail>
+//
+// Floats are hex-formatted (strconv 'x'), so decoding reproduces every
+// bit and a decoded checkpoint replays through an Engine exactly like
+// the in-memory original. Scenarios travel as their CompactKey words
+// and are rebuilt against the space the decoder is given; strings are
+// strconv-quoted.
+const checkpointHeader = "avd-checkpoint v1"
+
+// Encode writes the checkpoint's results in dispatch order. A campaign
+// that should survive process restarts encodes its checkpoint after (or
+// during) a run and later rebuilds it with DecodeCheckpoint to resume.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, checkpointHeader); err != nil {
+		return err
+	}
+	for _, res := range c.Results() {
+		hi, lo := res.Scenario.Compact().Words()
+		_, err := fmt.Fprintf(bw, "r %d %d %s %s %s %d %d %d %s\n",
+			hi, lo,
+			strconv.FormatFloat(res.Impact, 'x', -1, 64),
+			strconv.FormatFloat(res.Throughput, 'x', -1, 64),
+			strconv.FormatFloat(res.BaselineThroughput, 'x', -1, 64),
+			int64(res.AvgLatency), res.CrashedReplicas, res.ViewChanges,
+			strconv.Quote(res.Generator))
+		if err != nil {
+			return err
+		}
+		for _, v := range res.Violations {
+			if _, err := fmt.Fprintf(bw, "v %d %s %s\n",
+				v.Count, strconv.Quote(v.Invariant), strconv.Quote(v.Detail)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode, rebuilding each
+// result's scenario against space (which must be the hyperspace of the
+// campaign that wrote the checkpoint — the engine's replay verification
+// catches mismatches on resume). It never panics on malformed input; it
+// returns an error naming the offending line.
+func DecodeCheckpoint(r io.Reader, space *scenario.Space) (*Checkpoint, error) {
+	if space == nil {
+		return nil, fmt.Errorf("core: decode checkpoint needs a space")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("core: checkpoint header: %w", err)
+		}
+		return nil, fmt.Errorf("core: checkpoint is empty")
+	}
+	if sc.Text() != checkpointHeader {
+		return nil, fmt.Errorf("core: bad checkpoint header %q", sc.Text())
+	}
+	ck := NewCheckpoint()
+	line := 1
+	var last *Result
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		switch {
+		case strings.HasPrefix(text, "r "):
+			res, err := decodeResultLine(text[2:], space)
+			if err != nil {
+				return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+			}
+			if last != nil {
+				ck.append(*last)
+			}
+			last = &res
+		case strings.HasPrefix(text, "v "):
+			if last == nil {
+				return nil, fmt.Errorf("core: checkpoint line %d: violation before any result", line)
+			}
+			v, err := decodeViolationLine(text[2:])
+			if err != nil {
+				return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+			}
+			last.Violations = append(last.Violations, v)
+		case text == "":
+			// Tolerate a trailing newline.
+		default:
+			return nil, fmt.Errorf("core: checkpoint line %d: unknown record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+	}
+	if last != nil {
+		ck.append(*last)
+	}
+	return ck, nil
+}
+
+func decodeResultLine(s string, space *scenario.Space) (Result, error) {
+	var res Result
+	fields, err := splitFields(s, 9)
+	if err != nil {
+		return res, err
+	}
+	hi, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return res, fmt.Errorf("key hi: %w", err)
+	}
+	lo, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return res, fmt.Errorf("key lo: %w", err)
+	}
+	res.Scenario = space.FromCompact(scenario.KeyFromWords(hi, lo))
+	if res.Impact, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return res, fmt.Errorf("impact: %w", err)
+	}
+	if res.Throughput, err = strconv.ParseFloat(fields[3], 64); err != nil {
+		return res, fmt.Errorf("throughput: %w", err)
+	}
+	if res.BaselineThroughput, err = strconv.ParseFloat(fields[4], 64); err != nil {
+		return res, fmt.Errorf("baseline: %w", err)
+	}
+	lat, err := strconv.ParseInt(fields[5], 10, 64)
+	if err != nil {
+		return res, fmt.Errorf("latency: %w", err)
+	}
+	res.AvgLatency = time.Duration(lat)
+	if res.CrashedReplicas, err = strconv.Atoi(fields[6]); err != nil {
+		return res, fmt.Errorf("crashed: %w", err)
+	}
+	if res.ViewChanges, err = strconv.ParseUint(fields[7], 10, 64); err != nil {
+		return res, fmt.Errorf("views: %w", err)
+	}
+	if res.Generator, err = strconv.Unquote(fields[8]); err != nil {
+		return res, fmt.Errorf("generator: %w", err)
+	}
+	return res, nil
+}
+
+func decodeViolationLine(s string) (oracle.Violation, error) {
+	var v oracle.Violation
+	fields, err := splitFields(s, 3)
+	if err != nil {
+		return v, err
+	}
+	if v.Count, err = strconv.Atoi(fields[0]); err != nil {
+		return v, fmt.Errorf("count: %w", err)
+	}
+	if v.Invariant, err = strconv.Unquote(fields[1]); err != nil {
+		return v, fmt.Errorf("invariant: %w", err)
+	}
+	if v.Detail, err = strconv.Unquote(fields[2]); err != nil {
+		return v, fmt.Errorf("detail: %w", err)
+	}
+	return v, nil
+}
+
+// splitFields tokenizes a record into exactly n space-separated fields,
+// where a field starting with '"' extends to its closing quote
+// (strconv.QuotedPrefix handles escapes).
+func splitFields(s string, n int) ([]string, error) {
+	fields := make([]string, 0, n)
+	for len(fields) < n {
+		s = strings.TrimLeft(s, " ")
+		if s == "" {
+			return nil, fmt.Errorf("want %d fields, got %d", n, len(fields))
+		}
+		if s[0] == '"' {
+			q, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				return nil, fmt.Errorf("field %d: %w", len(fields)+1, err)
+			}
+			fields = append(fields, q)
+			s = s[len(q):]
+			continue
+		}
+		end := strings.IndexByte(s, ' ')
+		if end < 0 {
+			end = len(s)
+		}
+		fields = append(fields, s[:end])
+		s = s[end:]
+	}
+	if rest := strings.TrimLeft(s, " "); rest != "" {
+		return nil, fmt.Errorf("trailing data %q", rest)
+	}
+	return fields, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"avd/internal/oracle"
+)
+
+// TestCheckpointCodecRoundtrip: Encode/Decode preserves every result
+// bit-for-bit — scenarios, hex-exact floats, generators, violations.
+func TestCheckpointCodecRoundtrip(t *testing.T) {
+	space, err := Space(twoDimPlugins()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := NewCheckpoint()
+	ck.append(Result{
+		Scenario:           space.New(map[string]int64{"x": 17, "y": 63}),
+		Impact:             0.123456789123,
+		Throughput:         math.Pi * 1000,
+		BaselineThroughput: 7501.5,
+		AvgLatency:         1234567 * time.Nanosecond,
+		CrashedReplicas:    2,
+		ViewChanges:        9,
+		Generator:          `mutate:odd "quoted" generator`,
+		Violations: []oracle.Violation{
+			{Invariant: "pbft/agreement", Detail: `nodes 0 and 1 committed "different" values`, Count: 3},
+			{Invariant: "pbft/durability", Detail: "node 2 overwrote seq 5", Count: 1},
+		},
+	})
+	ck.append(Result{
+		Scenario:   space.New(map[string]int64{"x": 0, "y": 0}),
+		Impact:     1,
+		Throughput: 0,
+		Generator:  "seed",
+	})
+
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ck.Results(), decoded.Results()
+	if len(a) != len(b) {
+		t.Fatalf("decoded %d results, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].Scenario.Compact() != b[i].Scenario.Compact() {
+			t.Fatalf("result %d scenario %s != %s", i, a[i].Scenario, b[i].Scenario)
+		}
+		if a[i].Impact != b[i].Impact || a[i].Throughput != b[i].Throughput ||
+			a[i].BaselineThroughput != b[i].BaselineThroughput ||
+			a[i].AvgLatency != b[i].AvgLatency || a[i].CrashedReplicas != b[i].CrashedReplicas ||
+			a[i].ViewChanges != b[i].ViewChanges || a[i].Generator != b[i].Generator {
+			t.Fatalf("result %d roundtrip mismatch:\n%+v\n%+v", i, a[i], b[i])
+		}
+		if len(a[i].Violations) != len(b[i].Violations) {
+			t.Fatalf("result %d violations %d != %d", i, len(b[i].Violations), len(a[i].Violations))
+		}
+		for j := range a[i].Violations {
+			if a[i].Violations[j] != b[i].Violations[j] {
+				t.Fatalf("result %d violation %d: %+v != %+v", i, j, b[i].Violations[j], a[i].Violations[j])
+			}
+		}
+	}
+}
+
+// TestCheckpointDecodeErrors: malformed inputs error with context, never
+// panic.
+func TestCheckpointDecodeErrors(t *testing.T) {
+	space, err := Space(twoDimPlugins()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"",
+		"not a checkpoint",
+		"avd-checkpoint v1\nx stray record",
+		"avd-checkpoint v1\nr 0",
+		"avd-checkpoint v1\nr 0 0 nope 0x0p+00 0x0p+00 0 0 0 \"g\"",
+		"avd-checkpoint v1\nv 1 \"inv\" \"before any result\"",
+		"avd-checkpoint v1\nr 0 0 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"unterminated",
+		"avd-checkpoint v1\nr 0 0 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"g\" trailing",
+	}
+	for _, in := range cases {
+		if _, err := DecodeCheckpoint(strings.NewReader(in), space); err == nil {
+			t.Fatalf("decoding %q did not error", in)
+		}
+	}
+}
+
+// TestCheckpointEncodeReplayResume: the full durability path — run a
+// campaign partway, encode the checkpoint, decode it in a "fresh
+// process", and resume: the stitched campaign must equal an
+// uninterrupted one bit-for-bit.
+func TestCheckpointEncodeReplayResume(t *testing.T) {
+	const budget = 40
+	space, err := Space(twoDimPlugins()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uninterrupted, err := func() ([]Result, error) {
+		eng, err := NewEngine(newFakeTarget(), WithExplorer(newEngineController(t, 33)), WithBudget(budget))
+		if err != nil {
+			return nil, err
+		}
+		return eng.RunAll(context.Background())
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First "process": run 15 tests, then encode.
+	ck := NewCheckpoint()
+	ctx, cancel := context.WithCancel(context.Background())
+	eng1, err := NewEngine(newFakeTarget(),
+		WithExplorer(newEngineController(t, 33)), WithBudget(budget), WithCheckpoint(ck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	for range eng1.Run(ctx) {
+		streamed++
+		if streamed == 15 {
+			cancel()
+		}
+	}
+	cancel()
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second "process": decode and resume.
+	restored, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != ck.Len() {
+		t.Fatalf("restored %d results, checkpoint had %d", restored.Len(), ck.Len())
+	}
+	eng2, err := NewEngine(newFakeTarget(),
+		WithExplorer(newEngineController(t, 33)), WithBudget(budget), WithCheckpoint(restored))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.RunAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	full := restored.Results()
+	if len(full) != len(uninterrupted) {
+		t.Fatalf("resumed campaign has %d results, uninterrupted %d", len(full), len(uninterrupted))
+	}
+	a, b := campaignFingerprint(uninterrupted), campaignFingerprint(full)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("encode/decode resume diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	for i := range full {
+		if full[i].Impact != uninterrupted[i].Impact {
+			t.Fatalf("impact diverged at %d after codec resume", i)
+		}
+	}
+}

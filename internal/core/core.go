@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"time"
 
+	"avd/internal/oracle"
 	"avd/internal/scenario"
 )
 
@@ -45,6 +46,16 @@ type Result struct {
 	// Generator records which exploration step produced the scenario
 	// (e.g. "seed", "random", "mutate:maccorrupt").
 	Generator string
+	// Violations lists the protocol invariants the run's oracles saw
+	// broken, aggregated per invariant. Empty for runs whose damage is
+	// purely quantitative (throughput/latency): a scenario can be highly
+	// impactful without provably violating safety, and vice versa.
+	Violations []oracle.Violation
+}
+
+// Violated reports whether the run broke the named invariant.
+func (r Result) Violated(invariant string) bool {
+	return oracle.Violated(r.Violations, invariant)
 }
 
 // Runner executes a scenario and measures its impact. Implementations

@@ -2,8 +2,8 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
-	"time"
 
 	"avd/internal/scenario"
 )
@@ -91,40 +91,51 @@ func TestEngineStreamingDeterministic(t *testing.T) {
 	}
 }
 
-// TestEngineCancellation: canceling mid-campaign closes the stream
-// promptly with the partial results executed so far.
+// TestEngineCancellation: canceling mid-campaign closes the stream with
+// the partial results executed so far, dispatching at most the batch in
+// flight beyond the cancellation point. Gating runs on a token channel
+// (instead of sleeps and elapsed-time bounds) keeps the test exact and
+// wall-clock free: the execution count proves promptness.
 func TestEngineCancellation(t *testing.T) {
-	slow := RunnerFunc(func(sc scenario.Scenario) Result {
-		time.Sleep(2 * time.Millisecond)
+	const workers = 4
+	var executed atomic.Int64
+	// Two full batches' worth of tokens: the third batch blocks until
+	// the consumer has canceled and closed the channel.
+	tokens := make(chan struct{}, 2*workers)
+	for i := 0; i < 2*workers; i++ {
+		tokens <- struct{}{}
+	}
+	gated := RunnerFunc(func(sc scenario.Scenario) Result {
+		executed.Add(1)
+		<-tokens
 		return pureRunner().Run(sc)
 	})
-	eng, err := NewEngine(fakeTarget{Runner: slow, plugins: twoDimPlugins()},
-		WithExplorer(newEngineController(t, 11)), WithBudget(10_000), WithWorkers(4))
+	eng, err := NewEngine(fakeTarget{Runner: gated, plugins: twoDimPlugins()},
+		WithExplorer(newEngineController(t, 11)), WithBudget(10_000), WithWorkers(workers))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var partial []Result
-	start := time.Now()
 	for res := range eng.Run(ctx) {
 		partial = append(partial, res)
-		if len(partial) == 8 {
+		if len(partial) == 2*workers {
 			cancel()
+			close(tokens) // release the blocked in-flight batch
 		}
 	}
-	elapsed := time.Since(start)
 	if eng.Err() != context.Canceled {
 		t.Fatalf("Err() = %v, want context.Canceled", eng.Err())
 	}
-	if len(partial) < 8 || len(partial) >= 10_000 {
-		t.Fatalf("got %d partial results", len(partial))
+	if len(partial) < 2*workers || len(partial) > 4*workers {
+		t.Fatalf("got %d partial results, want between %d and %d", len(partial), 2*workers, 4*workers)
 	}
-	// 8 results at ~2ms each over 4 workers plus one in-flight batch: if
-	// cancellation were ignored we would run for ~5 seconds.
-	if elapsed > 2*time.Second {
-		t.Fatalf("cancellation took %v; not prompt", elapsed)
+	// Prompt cancellation means no new batch after the one in flight: a
+	// budget of 10,000 must stop within three batches.
+	if n := executed.Load(); n > 3*workers {
+		t.Fatalf("engine executed %d tests after cancellation at %d", n, 2*workers)
 	}
-	cancel()
 }
 
 // TestEngineCheckpointResume: a campaign canceled partway and resumed

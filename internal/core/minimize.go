@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"avd/internal/oracle"
+	"avd/internal/scenario"
+)
+
+// MinimizeConfig tunes scenario minimization.
+type MinimizeConfig struct {
+	// ImpactThreshold is the reproduction bar for scenarios whose only
+	// evidence is numeric: when the original result carries no oracle
+	// violations, a reduced candidate reproduces the vulnerability if
+	// its impact stays at or above this threshold. Zero defaults to 90%
+	// of the original's impact. Ignored when the original violated an
+	// invariant — then the candidate must trip the same oracle.
+	ImpactThreshold float64
+	// MaxRuns caps the number of candidate re-executions (default 256).
+	// Minimization stops gracefully at the cap, returning the smallest
+	// reproduction found so far.
+	MaxRuns int
+	// Observer, when set, is invoked after every probed candidate, in
+	// deterministic order.
+	Observer func(step MinimizeStep)
+}
+
+// MinimizeStep reports one probed candidate during minimization.
+type MinimizeStep struct {
+	// Dimension is the axis the candidate reduced.
+	Dimension string
+	// Result is the candidate's measured outcome.
+	Result Result
+	// Accepted reports whether the candidate still reproduced the
+	// vulnerability and became the new current scenario.
+	Accepted bool
+}
+
+// Minimization is the outcome of Minimize.
+type Minimization struct {
+	// Original is the result minimization started from.
+	Original Result
+	// Minimal is the smallest reproduction found: every dimension index
+	// at or below the original's, still tripping the same oracle (or
+	// holding the impact threshold).
+	Minimal Result
+	// Invariants lists the oracle invariants the minimal scenario must
+	// still violate; empty when reproduction is impact-based.
+	Invariants []string
+	// ImpactThreshold is the effective numeric reproduction bar.
+	ImpactThreshold float64
+	// Runs counts the candidate executions spent.
+	Runs int
+	// Reduced reports whether Minimal is strictly smaller than the
+	// original (its fault schedule lost at least one step of weight).
+	Reduced bool
+}
+
+// Minimize delta-debugs a vulnerable scenario down to a minimal
+// reproduction. The paper's engine reports *which point* of the
+// hyperspace hurts, but a discovered scenario usually over-specifies the
+// attack: deployment dimensions sit wherever the explorer happened to
+// wander, and fault dimensions are larger than the vulnerability needs.
+// Minimize re-runs deterministically reduced variants — each probe drops
+// a fault action entirely (axis index 0) or shortens it (clearing index
+// bits, halving, decrementing) — and keeps a reduction only when the
+// candidate still reproduces: it violates one of the same oracle
+// invariants the original did, or, for purely quantitative findings,
+// holds Impact >= ImpactThreshold. It loops over the dimensions until a
+// full pass accepts nothing, so the returned scenario is 1-minimal with
+// respect to the probe set: no single probed reduction reproduces.
+//
+// Minimization is deterministic: the runner contract (a Result is a pure
+// function of the scenario) plus the fixed probe order make two
+// Minimize calls over the same original identical. Executed candidates
+// are cached by compact key, so repeated passes don't re-run them.
+func Minimize(runner Runner, original Result, cfg MinimizeConfig) (Minimization, error) {
+	sc := original.Scenario
+	if runner == nil {
+		return Minimization{}, fmt.Errorf("core: minimize needs a runner")
+	}
+	if !sc.Valid() {
+		return Minimization{}, fmt.Errorf("core: minimize needs a scenario bound to a space")
+	}
+	invariants := oracle.Names(original.Violations)
+	threshold := cfg.ImpactThreshold
+	if threshold <= 0 {
+		threshold = 0.9 * original.Impact
+	}
+	if len(invariants) == 0 {
+		// Without a violated invariant the only evidence is numeric; a
+		// zero-impact original has nothing to reproduce (every probe
+		// would vacuously "hold" a threshold of 0), and an explicit
+		// threshold above the original's impact is unsatisfiable.
+		if original.Impact <= 0 {
+			return Minimization{}, fmt.Errorf("core: original has no violations and zero impact; nothing to minimize")
+		}
+		if original.Impact < threshold {
+			return Minimization{}, fmt.Errorf("core: original impact %.3f is below the reproduction threshold %.3f and no invariant was violated",
+				original.Impact, threshold)
+		}
+	}
+	maxRuns := cfg.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 256
+	}
+	reproduces := func(res Result) bool {
+		for _, inv := range invariants {
+			if res.Violated(inv) {
+				return true
+			}
+		}
+		if len(invariants) > 0 {
+			return false
+		}
+		return res.Impact >= threshold
+	}
+
+	m := Minimization{Original: original, Minimal: original, Invariants: invariants, ImpactThreshold: threshold}
+	cache := map[scenario.CompactKey]Result{sc.Compact(): original}
+	current := original
+	dims := sc.Space().Dimensions()
+
+	for changed := true; changed && m.Runs < maxRuns; {
+		changed = false
+		for _, d := range dims {
+			idx := d.Index(current.Scenario.GetOr(d.Name, d.Min))
+			for _, ci := range reductionCandidates(idx) {
+				if m.Runs >= maxRuns {
+					break
+				}
+				cand := current.Scenario.With(d.Name, d.Value(ci))
+				key := cand.Compact()
+				res, seen := cache[key]
+				if !seen {
+					res = runner.Run(cand)
+					cache[key] = res
+					m.Runs++
+				}
+				accepted := reproduces(res)
+				if cfg.Observer != nil && !seen {
+					cfg.Observer(MinimizeStep{Dimension: d.Name, Result: res, Accepted: accepted})
+				}
+				if accepted {
+					current = res
+					changed = true
+					break // move on to the next dimension
+				}
+			}
+		}
+	}
+	m.Minimal = current
+	m.Reduced = current.Scenario.Weight() < original.Scenario.Weight()
+	return m, nil
+}
+
+// reductionCandidates proposes smaller axis indices for a dimension
+// currently at idx, in decreasing order of ambition: drop the fault
+// entirely (0), clear each set bit high-to-low (halving-style jumps),
+// then the half and the decrement. Deduplicated, all strictly below idx.
+func reductionCandidates(idx int64) []int64 {
+	if idx <= 0 {
+		return nil
+	}
+	var out []int64
+	seen := map[int64]bool{idx: true}
+	add := func(c int64) {
+		if c >= 0 && c < idx && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	add(0)
+	for b := 62; b >= 0; b-- {
+		if idx&(1<<b) != 0 {
+			add(idx &^ (1 << b))
+		}
+	}
+	add(idx / 2)
+	add(idx - 1)
+	return out
+}

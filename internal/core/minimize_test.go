@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"avd/internal/oracle"
+	"avd/internal/scenario"
+)
+
+func minimizeSpace(t *testing.T) *scenario.Space {
+	t.Helper()
+	space, err := scenario.NewSpace(
+		scenario.Dimension{Name: "a", Min: 0, Max: 10, Step: 1},
+		scenario.Dimension{Name: "b", Min: 0, Max: 100, Step: 10},
+		scenario.Dimension{Name: "c", Min: 0, Max: 1, Step: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space
+}
+
+// impactRunner models a vulnerability needing a >= 3 and c == 1; b is
+// irrelevant noise the minimizer should strip.
+func impactRunner() Runner {
+	return RunnerFunc(func(sc scenario.Scenario) Result {
+		impact := 0.05
+		if sc.GetOr("a", 0) >= 3 && sc.GetOr("c", 0) == 1 {
+			impact = 0.95
+		}
+		return Result{Scenario: sc, Impact: impact}
+	})
+}
+
+// violationRunner models an oracle-backed vulnerability: the invariant
+// trips whenever a >= 2, independent of impact.
+func violationRunner() Runner {
+	return RunnerFunc(func(sc scenario.Scenario) Result {
+		res := Result{Scenario: sc, Impact: 0.2}
+		if sc.GetOr("a", 0) >= 2 {
+			res.Violations = []oracle.Violation{{Invariant: "test/inv", Detail: "a too large", Count: 1}}
+		}
+		return res
+	})
+}
+
+// TestMinimizeImpact: an impact-threshold reproduction shrinks to the
+// smallest scenario that still holds the threshold.
+func TestMinimizeImpact(t *testing.T) {
+	space := minimizeSpace(t)
+	runner := impactRunner()
+	orig := runner.Run(space.New(map[string]int64{"a": 9, "b": 70, "c": 1}))
+	m, err := Minimize(runner, orig, MinimizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Reduced {
+		t.Fatalf("minimization did not reduce %s", orig.Scenario)
+	}
+	got := m.Minimal.Scenario
+	if got.GetOr("a", -1) != 3 || got.GetOr("b", -1) != 0 || got.GetOr("c", -1) != 1 {
+		t.Fatalf("minimal scenario = %s, want a=3|b=0|c=1", got)
+	}
+	if m.Minimal.Impact < m.ImpactThreshold {
+		t.Fatalf("minimal impact %.3f below threshold %.3f", m.Minimal.Impact, m.ImpactThreshold)
+	}
+	if m.Runs == 0 {
+		t.Fatal("minimization reported zero runs")
+	}
+}
+
+// TestMinimizeViolation: when the original tripped an oracle, the
+// reproduction predicate is that invariant — impact is ignored — and
+// the minimal scenario is the smallest that still trips it.
+func TestMinimizeViolation(t *testing.T) {
+	space := minimizeSpace(t)
+	runner := violationRunner()
+	orig := runner.Run(space.New(map[string]int64{"a": 10, "b": 100, "c": 1}))
+	// A sky-high impact threshold must not matter: violations rule.
+	m, err := Minimize(runner, orig, MinimizeConfig{ImpactThreshold: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Minimal.Scenario
+	if got.GetOr("a", -1) != 2 || got.GetOr("b", -1) != 0 || got.GetOr("c", -1) != 0 {
+		t.Fatalf("minimal scenario = %s, want a=2|b=0|c=0", got)
+	}
+	if !m.Minimal.Violated("test/inv") {
+		t.Fatal("minimal scenario no longer violates test/inv")
+	}
+	if len(m.Invariants) != 1 || m.Invariants[0] != "test/inv" {
+		t.Fatalf("preserved invariants = %v", m.Invariants)
+	}
+}
+
+// TestMinimizeDeterministic: two minimizations of the same original are
+// identical — same witness, same probe count.
+func TestMinimizeDeterministic(t *testing.T) {
+	space := minimizeSpace(t)
+	runner := impactRunner()
+	orig := runner.Run(space.New(map[string]int64{"a": 8, "b": 90, "c": 1}))
+	m1, err := Minimize(runner, orig, MinimizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Minimize(runner, orig, MinimizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Minimal.Scenario.Compact() != m2.Minimal.Scenario.Compact() {
+		t.Fatalf("nondeterministic minimal: %s vs %s", m1.Minimal.Scenario, m2.Minimal.Scenario)
+	}
+	if m1.Runs != m2.Runs {
+		t.Fatalf("nondeterministic run count: %d vs %d", m1.Runs, m2.Runs)
+	}
+}
+
+// TestMinimizeAlreadyMinimal: a scenario at the all-minimum point (or
+// one where no reduction reproduces) comes back unchanged, not reduced.
+func TestMinimizeAlreadyMinimal(t *testing.T) {
+	space := minimizeSpace(t)
+	runner := impactRunner()
+	orig := runner.Run(space.New(map[string]int64{"a": 3, "b": 0, "c": 1}))
+	m, err := Minimize(runner, orig, MinimizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reduced {
+		t.Fatalf("already-minimal scenario claimed reduced to %s", m.Minimal.Scenario)
+	}
+	if m.Minimal.Scenario.Compact() != orig.Scenario.Compact() {
+		t.Fatalf("minimal %s != original %s", m.Minimal.Scenario, orig.Scenario)
+	}
+}
+
+// TestMinimizeRejectsNonReproducing: an original below the explicit
+// threshold with no violations cannot be minimized.
+func TestMinimizeRejectsNonReproducing(t *testing.T) {
+	space := minimizeSpace(t)
+	runner := impactRunner()
+	orig := runner.Run(space.New(map[string]int64{"a": 1, "b": 0, "c": 0})) // impact 0.05
+	if _, err := Minimize(runner, orig, MinimizeConfig{ImpactThreshold: 0.5}); err == nil {
+		t.Fatal("minimizing a non-reproducing original did not error")
+	}
+
+	// A zero-impact, violation-free original has nothing to reproduce:
+	// with the default threshold (0.9 x 0 = 0) every probe would
+	// vacuously "hold" it, so Minimize must refuse instead of shrinking
+	// to the all-minimum point and claiming success.
+	zero := RunnerFunc(func(sc scenario.Scenario) Result { return Result{Scenario: sc} })
+	harmless := zero.Run(space.New(map[string]int64{"a": 5, "b": 50, "c": 1}))
+	if _, err := Minimize(zero, harmless, MinimizeConfig{}); err == nil {
+		t.Fatal("minimizing a zero-impact original did not error")
+	}
+}
+
+// TestMinimizeRunBudget: MaxRuns bounds probe executions and still
+// returns a valid (possibly partial) reduction.
+func TestMinimizeRunBudget(t *testing.T) {
+	space := minimizeSpace(t)
+	runner := impactRunner()
+	orig := runner.Run(space.New(map[string]int64{"a": 10, "b": 100, "c": 1}))
+	m, err := Minimize(runner, orig, MinimizeConfig{MaxRuns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs > 3 {
+		t.Fatalf("minimization spent %d runs over a budget of 3", m.Runs)
+	}
+	if m.Minimal.Impact < m.ImpactThreshold {
+		t.Fatalf("partial minimal does not reproduce: impact %.3f", m.Minimal.Impact)
+	}
+}
+
+// TestScenarioWeight: weight sums axis indices, the minimizer's size
+// metric.
+func TestScenarioWeight(t *testing.T) {
+	space := minimizeSpace(t)
+	if w := space.New(nil).Weight(); w != 0 {
+		t.Fatalf("all-minimum weight = %d", w)
+	}
+	sc := space.New(map[string]int64{"a": 4, "b": 30, "c": 1})
+	if w := sc.Weight(); w != 4+3+1 {
+		t.Fatalf("weight = %d, want 8", w)
+	}
+}

@@ -1,0 +1,336 @@
+// Package oracle turns AVD's raw fault campaigns into provable protocol
+// violations. The paper's impact metric (§3) measures *how much* a
+// scenario hurts the correct nodes, but not *which safety property*
+// broke: a throughput collapse and an agreement violation score alike.
+// Model-guided fuzzing of distributed systems (Gulcan et al., Meng &
+// Roychoudhury; see PAPERS.md) shows that explicit protocol oracles are
+// what make a degraded run actionable, so this package defines a small
+// observation vocabulary — commit, leadership — that both shipped
+// targets emit during execution, and Checkers that fold the per-run
+// event stream into structured Violations.
+//
+// A Checker instance observes exactly one run: the deployment harness
+// creates fresh checkers per test (runs execute concurrently under
+// parallel engines), feeds them events from the simulation goroutine,
+// and asks Finish for the violations once the run ends. Violations
+// travel on core.Result, so explorers, checkpoints and the minimizer all
+// see which invariants a scenario provably breaks.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind classifies one protocol observation.
+type EventKind uint8
+
+// Event kinds. The vocabulary is deliberately protocol-neutral: a PBFT
+// replica executing a batch and a Raft node applying a log entry both
+// report EventCommit; a Raft node winning an election reports
+// EventLeader (PBFT's view installations could too, but no shipped
+// checker needs them yet).
+const (
+	// EventCommit: Node irrevocably committed the value identified by
+	// Digest at log position Seq. Term carries the view/term it was
+	// committed in (informational).
+	EventCommit EventKind = iota + 1
+	// EventLeader: Node assumed leadership for Term.
+	EventLeader
+)
+
+// String names the kind for traces and fixtures.
+func (k EventKind) String() string {
+	switch k {
+	case EventCommit:
+		return "commit"
+	case EventLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one protocol observation from a run, emitted on the
+// simulation goroutine in deterministic order.
+type Event struct {
+	Kind   EventKind
+	Node   int
+	Seq    uint64 // log position (EventCommit)
+	Term   uint64 // term or view
+	Digest uint64 // committed-value identity (EventCommit)
+}
+
+// String formats the event as one fixture line.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventCommit:
+		return fmt.Sprintf("commit node=%d seq=%d term=%d digest=%#x", e.Node, e.Seq, e.Term, e.Digest)
+	case EventLeader:
+		return fmt.Sprintf("leader node=%d term=%d", e.Node, e.Term)
+	default:
+		return fmt.Sprintf("%s node=%d seq=%d term=%d digest=%#x", e.Kind, e.Node, e.Seq, e.Term, e.Digest)
+	}
+}
+
+// Violation is one broken protocol invariant, aggregated over a run: the
+// first witness plus how often the invariant tripped.
+type Violation struct {
+	// Invariant names the broken property, e.g. "pbft/agreement" or
+	// "raft/election-safety".
+	Invariant string
+	// Detail describes the first witness observed.
+	Detail string
+	// Count is the number of times the invariant tripped during the run.
+	Count int
+}
+
+// String formats the violation for reports.
+func (v Violation) String() string {
+	if v.Count > 1 {
+		return fmt.Sprintf("%s (x%d): %s", v.Invariant, v.Count, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Invariant, v.Detail)
+}
+
+// Checker observes one run's event stream and reports the invariants it
+// saw broken. Implementations are not safe for concurrent use and must
+// not be reused across runs; Observe is called on the simulation
+// goroutine in event order, Finish once after the run ends.
+type Checker interface {
+	// Name identifies the checker in reports.
+	Name() string
+	// Observe folds one event into the checker's state.
+	Observe(ev Event)
+	// Finish flushes end-of-run checks and returns the violations found,
+	// in a deterministic order.
+	Finish() []Violation
+}
+
+// Set fans one event stream out to several checkers and concatenates
+// their findings in registration order. Deployment harnesses build one
+// Set per run (checkers are single-run, and runs execute concurrently
+// under parallel engines).
+type Set struct {
+	checkers []Checker
+}
+
+// NewSet builds a set over the given checkers (nils are skipped).
+func NewSet(checkers ...Checker) *Set {
+	s := &Set{}
+	for _, c := range checkers {
+		if c != nil {
+			s.checkers = append(s.checkers, c)
+		}
+	}
+	return s
+}
+
+// Observe feeds one event to every checker.
+func (s *Set) Observe(ev Event) {
+	for _, c := range s.checkers {
+		c.Observe(ev)
+	}
+}
+
+// Finish collects every checker's violations in registration order.
+func (s *Set) Finish() []Violation {
+	var out []Violation
+	for _, c := range s.checkers {
+		out = append(out, c.Finish()...)
+	}
+	return out
+}
+
+// violationAgg aggregates repeated trips of one invariant: first witness
+// wins the Detail, later trips only bump the count.
+type violationAgg struct {
+	order []string
+	byInv map[string]*Violation
+}
+
+func newViolationAgg() violationAgg {
+	return violationAgg{byInv: make(map[string]*Violation)}
+}
+
+func (a *violationAgg) trip(invariant, detail string) {
+	if v, ok := a.byInv[invariant]; ok {
+		v.Count++
+		return
+	}
+	a.order = append(a.order, invariant)
+	a.byInv[invariant] = &Violation{Invariant: invariant, Detail: detail, Count: 1}
+}
+
+func (a *violationAgg) violations() []Violation {
+	out := make([]Violation, 0, len(a.order))
+	for _, inv := range a.order {
+		out = append(out, *a.byInv[inv])
+	}
+	return out
+}
+
+// Agreement checks the safety core shared by both shipped protocols:
+// once any node commits a value at a log position, no node — including
+// itself — may commit a different value there.
+//
+//   - "<prefix>/agreement": two distinct nodes committed different
+//     digests at the same sequence number. For PBFT this is the paper's
+//     agreement property (no two correct replicas execute different
+//     batches at a sequence number); for Raft it is the Log Matching /
+//     State Machine Safety corollary over applied entries.
+//   - "<prefix>/durability": one node re-committed a different digest at
+//     a position it had already committed — a committed request was lost
+//     and overwritten in that node's history.
+type Agreement struct {
+	prefix string
+	// first commit seen per seq: digest and the node that made it.
+	commits map[uint64]commitWitness
+	// perNode tracks each node's own committed digests by seq, catching
+	// local overwrites even after a cross-node conflict already tripped.
+	perNode map[int]map[uint64]uint64
+	agg     violationAgg
+}
+
+type commitWitness struct {
+	digest uint64
+	node   int
+}
+
+// NewAgreement returns an agreement checker whose violations are named
+// "<prefix>/agreement" and "<prefix>/durability".
+func NewAgreement(prefix string) *Agreement {
+	return &Agreement{
+		prefix:  prefix,
+		commits: make(map[uint64]commitWitness),
+		perNode: make(map[int]map[uint64]uint64),
+		agg:     newViolationAgg(),
+	}
+}
+
+var _ Checker = (*Agreement)(nil)
+
+// Name implements Checker.
+func (c *Agreement) Name() string { return c.prefix + "/agreement" }
+
+// Observe implements Checker.
+func (c *Agreement) Observe(ev Event) {
+	if ev.Kind != EventCommit {
+		return
+	}
+	mine := c.perNode[ev.Node]
+	if mine == nil {
+		mine = make(map[uint64]uint64)
+		c.perNode[ev.Node] = mine
+	}
+	if prev, ok := mine[ev.Seq]; ok && prev != ev.Digest {
+		c.agg.trip(c.prefix+"/durability", fmt.Sprintf(
+			"node %d overwrote its committed entry at seq %d: digest %#x replaced %#x",
+			ev.Node, ev.Seq, ev.Digest, prev))
+	}
+	mine[ev.Seq] = ev.Digest
+	w, ok := c.commits[ev.Seq]
+	if !ok {
+		c.commits[ev.Seq] = commitWitness{digest: ev.Digest, node: ev.Node}
+		return
+	}
+	if w.digest != ev.Digest && w.node != ev.Node {
+		c.agg.trip(c.prefix+"/agreement", fmt.Sprintf(
+			"nodes %d and %d committed different values at seq %d: %#x vs %#x",
+			w.node, ev.Node, ev.Seq, w.digest, ev.Digest))
+	}
+}
+
+// Finish implements Checker.
+func (c *Agreement) Finish() []Violation { return c.agg.violations() }
+
+// ElectionSafety checks Raft's Election Safety property: at most one
+// node assumes leadership in any given term (§5.2 of the Raft paper).
+type ElectionSafety struct {
+	prefix  string
+	leaders map[uint64]int // term -> first node that led it
+	agg     violationAgg
+}
+
+// NewElectionSafety returns an election-safety checker whose violation
+// is named "<prefix>/election-safety".
+func NewElectionSafety(prefix string) *ElectionSafety {
+	return &ElectionSafety{
+		prefix:  prefix,
+		leaders: make(map[uint64]int),
+		agg:     newViolationAgg(),
+	}
+}
+
+var _ Checker = (*ElectionSafety)(nil)
+
+// Name implements Checker.
+func (c *ElectionSafety) Name() string { return c.prefix + "/election-safety" }
+
+// Observe implements Checker.
+func (c *ElectionSafety) Observe(ev Event) {
+	if ev.Kind != EventLeader {
+		return
+	}
+	first, ok := c.leaders[ev.Term]
+	if !ok {
+		c.leaders[ev.Term] = ev.Node
+		return
+	}
+	if first != ev.Node {
+		c.agg.trip(c.prefix+"/election-safety", fmt.Sprintf(
+			"nodes %d and %d both led term %d", first, ev.Node, ev.Term))
+	}
+}
+
+// Finish implements Checker.
+func (c *ElectionSafety) Finish() []Violation { return c.agg.violations() }
+
+// Recorder captures the raw event stream of a run. It never reports
+// violations; it exists for golden-trace regression tests (a fixed
+// (seed, scenario) pair must reproduce its event trace bit-for-bit) and
+// for debugging minimized witnesses.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+var _ Checker = (*Recorder)(nil)
+
+// Name implements Checker.
+func (r *Recorder) Name() string { return "recorder" }
+
+// Observe implements Checker.
+func (r *Recorder) Observe(ev Event) { r.events = append(r.events, ev) }
+
+// Finish implements Checker; a recorder has no invariants.
+func (r *Recorder) Finish() []Violation { return nil }
+
+// Events returns the recorded stream in observation order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Violated reports whether the named invariant appears in the list.
+func Violated(violations []Violation, invariant string) bool {
+	for _, v := range violations {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// Names returns the sorted distinct invariant names in the list.
+func Names(violations []Violation) []string {
+	seen := make(map[string]bool, len(violations))
+	var out []string
+	for _, v := range violations {
+		if !seen[v.Invariant] {
+			seen[v.Invariant] = true
+			out = append(out, v.Invariant)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

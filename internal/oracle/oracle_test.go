@@ -1,0 +1,120 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAgreementClean: a consistent commit history — every node the same
+// digest per seq, repeats included — raises nothing.
+func TestAgreementClean(t *testing.T) {
+	c := NewAgreement("pbft")
+	for seq := uint64(1); seq <= 5; seq++ {
+		for node := 0; node < 4; node++ {
+			c.Observe(Event{Kind: EventCommit, Node: node, Seq: seq, Digest: 100 + seq})
+		}
+	}
+	// A late duplicate of an already-committed entry is not a violation.
+	c.Observe(Event{Kind: EventCommit, Node: 2, Seq: 3, Digest: 103})
+	if got := c.Finish(); len(got) != 0 {
+		t.Fatalf("clean history produced violations: %v", got)
+	}
+}
+
+// TestAgreementCrossNodeConflict: two nodes committing different digests
+// at one seq is the agreement violation, reported once with a count.
+func TestAgreementCrossNodeConflict(t *testing.T) {
+	c := NewAgreement("pbft")
+	c.Observe(Event{Kind: EventCommit, Node: 0, Seq: 7, Digest: 0xa})
+	c.Observe(Event{Kind: EventCommit, Node: 1, Seq: 7, Digest: 0xb})
+	c.Observe(Event{Kind: EventCommit, Node: 2, Seq: 7, Digest: 0xc})
+	got := c.Finish()
+	if len(got) != 1 {
+		t.Fatalf("want 1 aggregated violation, got %v", got)
+	}
+	v := got[0]
+	if v.Invariant != "pbft/agreement" {
+		t.Fatalf("invariant = %q", v.Invariant)
+	}
+	if v.Count != 2 {
+		t.Fatalf("count = %d, want 2 (nodes 1 and 2 each conflict with node 0)", v.Count)
+	}
+	if !Violated(got, "pbft/agreement") || Violated(got, "pbft/durability") {
+		t.Fatalf("Violated() misreports: %v", got)
+	}
+}
+
+// TestAgreementDurability: one node overwriting its own committed entry
+// is the durability violation, distinct from cross-node agreement.
+func TestAgreementDurability(t *testing.T) {
+	c := NewAgreement("raft")
+	c.Observe(Event{Kind: EventCommit, Node: 3, Seq: 2, Digest: 0x1})
+	c.Observe(Event{Kind: EventCommit, Node: 3, Seq: 2, Digest: 0x2})
+	got := c.Finish()
+	if len(got) != 1 || got[0].Invariant != "raft/durability" {
+		t.Fatalf("want raft/durability, got %v", got)
+	}
+}
+
+// TestElectionSafety: one leader per term is fine (repeated claims by the
+// same node included); a second node leading the same term trips.
+func TestElectionSafety(t *testing.T) {
+	c := NewElectionSafety("raft")
+	c.Observe(Event{Kind: EventLeader, Node: 0, Term: 1})
+	c.Observe(Event{Kind: EventLeader, Node: 0, Term: 1})
+	c.Observe(Event{Kind: EventLeader, Node: 1, Term: 2})
+	if got := c.Finish(); len(got) != 0 {
+		t.Fatalf("legal leadership history produced violations: %v", got)
+	}
+
+	c = NewElectionSafety("raft")
+	c.Observe(Event{Kind: EventLeader, Node: 0, Term: 5})
+	c.Observe(Event{Kind: EventLeader, Node: 2, Term: 5})
+	got := c.Finish()
+	if len(got) != 1 || got[0].Invariant != "raft/election-safety" {
+		t.Fatalf("want raft/election-safety, got %v", got)
+	}
+	// Commit events must not confuse the checker.
+	c.Observe(Event{Kind: EventCommit, Node: 9, Seq: 1, Term: 5, Digest: 1})
+}
+
+// TestSetFansOut: a Set feeds every checker and concatenates findings in
+// registration order.
+func TestSetFansOut(t *testing.T) {
+	set := NewSet(NewElectionSafety("raft"), nil, NewAgreement("raft"))
+	set.Observe(Event{Kind: EventLeader, Node: 0, Term: 3})
+	set.Observe(Event{Kind: EventLeader, Node: 1, Term: 3})
+	set.Observe(Event{Kind: EventCommit, Node: 0, Seq: 1, Digest: 0xaa})
+	set.Observe(Event{Kind: EventCommit, Node: 1, Seq: 1, Digest: 0xbb})
+	got := Names(set.Finish())
+	want := []string{"raft/agreement", "raft/election-safety"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("violated invariants = %v, want %v", got, want)
+	}
+}
+
+// TestRecorder: the recorder preserves the stream verbatim and reports
+// no violations.
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	evs := []Event{
+		{Kind: EventLeader, Node: 1, Term: 1},
+		{Kind: EventCommit, Node: 1, Seq: 1, Term: 1, Digest: 42},
+		{Kind: EventCommit, Node: 0, Seq: 1, Term: 1, Digest: 42},
+	}
+	for _, ev := range evs {
+		r.Observe(ev)
+	}
+	if v := r.Finish(); v != nil {
+		t.Fatalf("recorder reported violations: %v", v)
+	}
+	if !reflect.DeepEqual(r.Events(), evs) {
+		t.Fatalf("recorded %v, want %v", r.Events(), evs)
+	}
+	if s := evs[0].String(); s != "leader node=1 term=1" {
+		t.Fatalf("leader event formats as %q", s)
+	}
+	if s := evs[1].String(); s != "commit node=1 seq=1 term=1 digest=0x2a" {
+		t.Fatalf("commit event formats as %q", s)
+	}
+}

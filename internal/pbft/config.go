@@ -60,6 +60,14 @@ type Config struct {
 	TimerMode TimerMode
 	// ExecTime is the simulated execution cost per batch.
 	ExecTime time.Duration
+	// QuorumBug injects a quorum-miscounting defect for oracle
+	// validation: replicas treat F matching prepares (instead of 2F) and
+	// F+1 matching commits (instead of 2F+1) as certificates. Combined
+	// with an equivocating primary (ByzantineBehavior.Equivocate) this
+	// lets correct replicas execute different batches at the same
+	// sequence number — the agreement violation the oracle subsystem
+	// exists to detect. Never enabled by default.
+	QuorumBug bool
 }
 
 // DefaultConfig returns a 4-replica (f=1) configuration matching the
@@ -115,3 +123,21 @@ func (c Config) PrimaryOf(view uint64) int { return int(view % uint64(c.N)) }
 
 // Quorum returns the agreement quorum size 2F+1.
 func (c Config) Quorum() int { return 2*c.F + 1 }
+
+// prepareQuorum is the matching-prepare count that certifies an entry as
+// prepared: 2F per the protocol, F under the injected QuorumBug defect.
+func (c Config) prepareQuorum() int {
+	if c.QuorumBug {
+		return c.F
+	}
+	return 2 * c.F
+}
+
+// commitQuorum is the matching-commit count that certifies an entry as
+// committed: 2F+1 per the protocol, F+1 under the injected QuorumBug.
+func (c Config) commitQuorum() int {
+	if c.QuorumBug {
+		return c.F + 1
+	}
+	return c.Quorum()
+}

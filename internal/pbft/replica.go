@@ -24,6 +24,16 @@ type ByzantineBehavior struct {
 	// these client addresses, ignoring correct clients entirely (§6:
 	// "the primary can ignore all messages from correct clients").
 	ColludeWith map[simnet.Addr]bool
+	// Equivocate makes the replica, when primary, propose conflicting
+	// batches for the same sequence number: the lowest-id backup receives
+	// a variant padded with a null request (a different digest over the
+	// same client payloads) plus a matching commit vote, everyone else
+	// the true batch. Against a correct quorum implementation the
+	// conflicting variant can never gather a certificate; combined with
+	// Config.QuorumBug it makes correct replicas execute different
+	// batches at one sequence number, which is the injected agreement
+	// violation the oracle tests detect.
+	Equivocate bool
 }
 
 // ReplicaStats counts protocol activity at one replica.
@@ -164,6 +174,12 @@ type Replica struct {
 	slowTickFn     func()
 	nvTimeoutFn    func()
 
+	// commitObserver, when set, observes every batch execution: the
+	// sequence number and the batch digest this replica committed there.
+	// The deployment harness feeds these observations to protocol
+	// oracles.
+	commitObserver func(seq, digest uint64)
+
 	stats ReplicaStats
 }
 
@@ -179,6 +195,14 @@ func WithByzantine(b *ByzantineBehavior) ReplicaOption {
 // WithCrashOnBadReproposal toggles the modeled view-change crash defect.
 func WithCrashOnBadReproposal(on bool) ReplicaOption {
 	return func(r *Replica) { r.crashOnBadReproposal = on }
+}
+
+// WithCommitObserver registers a callback invoked on the simulation
+// goroutine for every batch this replica executes, carrying the sequence
+// number and the committed batch digest. Protocol oracles consume these
+// observations.
+func WithCommitObserver(fn func(seq, digest uint64)) ReplicaOption {
+	return func(r *Replica) { r.commitObserver = fn }
 }
 
 // NewReplica creates replica id and registers it on the network at
@@ -475,6 +499,10 @@ func (r *Replica) proposeBatch() {
 
 // sendPrePrepare broadcasts and locally accepts a pre-prepare.
 func (r *Replica) sendPrePrepare(seq uint64, batch []*Request) {
+	if r.byz != nil && r.byz.Equivocate {
+		r.sendEquivocalPrePrepare(seq, batch)
+		return
+	}
 	digest := BatchDigest(batch)
 	pp := &PrePrepare{
 		View:   r.view,
@@ -493,6 +521,62 @@ func (r *Replica) sendPrePrepare(seq uint64, batch []*Request) {
 	entry.batch = batch
 	entry.prePrepare = pp
 	r.net.Broadcast(r.Addr(), r.replicaAddrs(), pp)
+	r.checkPrepared(seq, entry)
+}
+
+// sendEquivocalPrePrepare is the equivocating primary's proposal path:
+// the lowest-id backup gets a null-padded variant of the batch (same
+// client payloads, different digest) plus this replica's commit vote for
+// it, everyone else — and the local log — gets the true batch. The
+// extra commit vote is what lets the variant reach the (buggy,
+// Config.QuorumBug) F+1 commit quorum at the victim.
+func (r *Replica) sendEquivocalPrePrepare(seq uint64, batch []*Request) {
+	victim := -1
+	for i := 0; i < r.cfg.N; i++ {
+		if i != r.id {
+			victim = i
+			break
+		}
+	}
+	altBatch := append(append([]*Request(nil), batch...), NullRequest())
+	altDigest := BatchDigest(altBatch)
+	altPP := &PrePrepare{
+		View:   r.view,
+		SeqNo:  seq,
+		Batch:  altBatch,
+		Digest: altDigest,
+		Auth:   r.authFor(fnv3(r.view, seq, altDigest)),
+	}
+	digest := BatchDigest(batch)
+	pp := &PrePrepare{
+		View:   r.view,
+		SeqNo:  seq,
+		Batch:  batch,
+		Digest: digest,
+		Auth:   r.authFor(fnv3(r.view, seq, digest)),
+	}
+	r.stats.BatchesProposed++
+	entry := r.getEntry(seq)
+	if entry.prePrepare != nil && entry.view == r.view {
+		return // already proposed at this seq in this view
+	}
+	entry.reset(r.view)
+	entry.digest = digest
+	entry.batch = batch
+	entry.prePrepare = pp
+	for _, to := range r.replicaAddrs() {
+		if int(to) == r.id {
+			continue
+		}
+		if int(to) == victim {
+			r.net.Send(r.Addr(), to, altPP)
+			altC := &Commit{View: r.view, SeqNo: seq, Digest: altDigest, Replica: r.id}
+			altC.Auth = r.authFor(fnv3(altC.View, altC.SeqNo, altC.Digest))
+			r.net.Send(r.Addr(), to, altC)
+		} else {
+			r.net.Send(r.Addr(), to, pp)
+		}
+	}
 	r.checkPrepared(seq, entry)
 }
 
@@ -625,7 +709,7 @@ func (r *Replica) checkPrepared(seq uint64, entry *logEntry) {
 			matching++
 		}
 	}
-	if matching < 2*r.cfg.F {
+	if matching < r.cfg.prepareQuorum() {
 		return
 	}
 	entry.prepared = true
@@ -674,7 +758,7 @@ func (r *Replica) checkCommitted(seq uint64, entry *logEntry) {
 			matching++
 		}
 	}
-	if matching < r.cfg.Quorum() {
+	if matching < r.cfg.commitQuorum() {
 		return
 	}
 	if entry.poisoned() {
@@ -702,6 +786,9 @@ func (r *Replica) tryExecute() {
 
 func (r *Replica) executeBatch(seq uint64, entry *logEntry) {
 	r.stats.BatchesExecuted++
+	if r.commitObserver != nil {
+		r.commitObserver(seq, entry.digest)
+	}
 	// Execution settles the entry: any unauthenticated copies are
 	// superseded by the commit quorum.
 	entry.badIdx = nil

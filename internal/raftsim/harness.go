@@ -6,6 +6,7 @@ import (
 
 	"avd/internal/core"
 	"avd/internal/metrics"
+	"avd/internal/oracle"
 	"avd/internal/scenario"
 	"avd/internal/sim"
 	"avd/internal/simnet"
@@ -99,8 +100,29 @@ func (r *Runner) Run(sc scenario.Scenario) core.Result {
 // RunReport executes the scenario and returns both the impact result and
 // the detailed report.
 func (r *Runner) RunReport(sc scenario.Scenario) (core.Result, Report) {
+	return r.runScored(sc, nil)
+}
+
+// RunTraced executes the scenario with a trace recorder attached and
+// returns the oracle-event stream alongside the result: every leadership
+// change and log application, in deterministic simulation order. Golden-
+// trace regression tests compare this stream against a committed
+// fixture.
+func (r *Runner) RunTraced(sc scenario.Scenario) (core.Result, Report, []oracle.Event) {
+	rec := oracle.NewRecorder()
+	res, rep := r.runScored(sc, rec)
+	return res, rep, rec.Events()
+}
+
+// runScored executes the scenario with faults and computes the impact
+// score against the cached baseline.
+func (r *Runner) runScored(sc scenario.Scenario, rec *oracle.Recorder) (core.Result, Report) {
 	clients := sc.GetOr(DimClients, 10)
-	res, rep := r.execute(sc, clients, true)
+	var extra []oracle.Checker
+	if rec != nil {
+		extra = append(extra, rec)
+	}
+	res, rep := r.execute(sc, clients, true, extra...)
 	baseline := r.Baseline(clients)
 	res.BaselineThroughput = baseline
 	if baseline > 0 {
@@ -205,15 +227,30 @@ func (a *leaderFlap) heal() {
 }
 
 // execute builds and runs one deployment. withFaults=false strips the
-// attacker (baseline measurement).
-func (r *Runner) execute(sc scenario.Scenario, clients int64, withFaults bool) (core.Result, Report) {
+// attacker (baseline measurement). The Raft protocol oracles — election
+// safety, log-matching agreement over applied entries, committed-entry
+// durability — always observe the run; extra checkers (e.g. a trace
+// Recorder) join them.
+func (r *Runner) execute(sc scenario.Scenario, clients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
 	w := r.w
 	eng := sim.New(w.Seed)
 	net := simnet.New(eng, w.Net)
 
+	oracles := oracle.NewSet(append([]oracle.Checker{
+		oracle.NewElectionSafety("raft"),
+		oracle.NewAgreement("raft"),
+	}, extra...)...)
+
 	nodes := make([]*Node, 0, w.Raft.N)
 	for i := 0; i < w.Raft.N; i++ {
-		n, err := NewNode(i, w.Raft, net)
+		id := i
+		n, err := NewNode(i, w.Raft, net,
+			WithLeadObserver(func(term uint64) {
+				oracles.Observe(oracle.Event{Kind: oracle.EventLeader, Node: id, Term: term})
+			}),
+			WithApplyObserver(func(index uint64, e Entry) {
+				oracles.Observe(oracle.Event{Kind: oracle.EventCommit, Node: id, Seq: index, Term: e.Term, Digest: EntryDigest(e)})
+			}))
 		if err != nil {
 			panic(fmt.Sprintf("raftsim: node construction: %v", err)) // config was validated
 		}
@@ -300,7 +337,21 @@ func (r *Runner) execute(sc scenario.Scenario, clients int64, withFaults bool) (
 	}
 	res.ViewChanges = rep.ElectionsStarted // terms are Raft's "views"
 	rep.P99Latency = metrics.PercentileInPlace(lat.tail, 99)
+	res.Violations = oracles.Finish()
 	return res, rep
+}
+
+// EntryDigest is the committed-value identity the oracles compare across
+// nodes: a hash of everything that makes two log entries "the same
+// command" — term, issuing client, and client sequence number.
+func EntryDigest(e Entry) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, v := range [3]uint64{e.Term, uint64(int64(e.Client)), e.Seq} {
+		h ^= v
+		h *= prime
+	}
+	return h
 }
 
 // currentLeader returns the id of the highest-term node acting as

@@ -31,6 +31,12 @@ type Config struct {
 	// node draws after hearing from a leader or candidate.
 	ElectionTimeoutMin time.Duration
 	ElectionTimeoutMax time.Duration
+	// DoubleVoteBug injects a vote-accounting defect for oracle
+	// validation: nodes grant RequestVotes without consulting votedFor,
+	// so two candidates of the same term can both assemble majorities —
+	// a genuine Election Safety violation (Raft §5.2) that the oracle
+	// subsystem detects. Never enabled by default.
+	DoubleVoteBug bool
 }
 
 // DefaultConfig returns a 5-node cluster with timers compressed the same
@@ -48,8 +54,8 @@ func DefaultConfig() Config {
 
 // Validate reports structural problems with the configuration.
 func (c Config) Validate() error {
-	if c.N < 3 {
-		return fmt.Errorf("raftsim: cluster size %d needs at least 3 nodes", c.N)
+	if c.N < 1 {
+		return fmt.Errorf("raftsim: cluster size %d needs at least 1 node", c.N)
 	}
 	if c.HeartbeatInterval <= 0 {
 		return fmt.Errorf("raftsim: heartbeat interval must be positive")
@@ -183,12 +189,33 @@ type Node struct {
 	// a retransmission of an in-flight request is not appended twice.
 	pending map[simnet.Addr]uint64
 
+	// Oracle observers, invoked on the simulation goroutine: onLead when
+	// the node assumes leadership for a term, onApply for every log
+	// index the node applies (committed-entry identity included).
+	onLead  func(term uint64)
+	onApply func(index uint64, e Entry)
+
 	stats NodeStats
+}
+
+// NodeOption customizes node construction.
+type NodeOption func(*Node)
+
+// WithLeadObserver registers a callback invoked whenever the node wins
+// an election, carrying the term it now leads.
+func WithLeadObserver(fn func(term uint64)) NodeOption {
+	return func(n *Node) { n.onLead = fn }
+}
+
+// WithApplyObserver registers a callback invoked for every log index the
+// node applies, carrying the index and the entry applied there.
+func WithApplyObserver(fn func(index uint64, e Entry)) NodeOption {
+	return func(n *Node) { n.onApply = fn }
 }
 
 // NewNode creates node id (address id on the network) and registers its
 // message handler.
-func NewNode(id int, cfg Config, net *simnet.Network) (*Node, error) {
+func NewNode(id int, cfg Config, net *simnet.Network, opts ...NodeOption) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -205,6 +232,9 @@ func NewNode(id int, cfg Config, net *simnet.Network) (*Node, error) {
 		votes:    make(map[int]bool),
 		lastSeq:  make(map[simnet.Addr]uint64),
 		pending:  make(map[simnet.Addr]uint64),
+	}
+	for _, opt := range opts {
+		opt(n)
 	}
 	n.electionFn = n.onElectionTimeout
 	n.heartbeatFn = n.onHeartbeat
@@ -292,12 +322,19 @@ func (n *Node) onElectionTimeout() {
 		}
 	}
 	n.resetElectionTimer()
+	// A single-node cluster is its own majority.
+	if len(n.votes) >= n.cfg.N/2+1 {
+		n.becomeLeader()
+	}
 }
 
 func (n *Node) becomeLeader() {
 	n.role = leader
 	n.leader = n.id
 	n.electionTimer.Stop()
+	if n.onLead != nil {
+		n.onLead(n.term)
+	}
 	lastIdx, _ := n.lastLog()
 	n.nextIndex = make([]uint64, n.cfg.N)
 	n.matchIndex = make([]uint64, n.cfg.N)
@@ -375,7 +412,7 @@ func (n *Node) onRequestVote(m *RequestVote) {
 		n.stepDown(m.Term)
 	}
 	granted := false
-	if m.Term == n.term && (n.votedFor == -1 || n.votedFor == m.Candidate) {
+	if m.Term == n.term && (n.votedFor == -1 || n.votedFor == m.Candidate || n.cfg.DoubleVoteBug) {
 		// Up-to-date check (Raft §5.4.1).
 		lastIdx, lastTerm := n.lastLog()
 		if m.LastLogTerm > lastTerm || (m.LastLogTerm == lastTerm && m.LastLogIndex >= lastIdx) {
@@ -499,6 +536,9 @@ func (n *Node) applyCommitted() {
 	for n.applied < n.commit {
 		n.applied++
 		e := n.log[n.applied-1]
+		if n.onApply != nil {
+			n.onApply(n.applied, e)
+		}
 		if e.Seq > n.lastSeq[e.Client] {
 			n.lastSeq[e.Client] = e.Seq
 			n.stats.EntriesApplied++
@@ -528,5 +568,8 @@ func (n *Node) onClientRequest(m *ClientRequest) {
 	n.pending[m.Client] = m.Seq
 	n.log = append(n.log, Entry{Term: n.term, Client: m.Client, Seq: m.Seq})
 	n.matchIndex[n.id] = uint64(len(n.log))
+	// A single-node cluster is its own majority: without peers there are
+	// no AppendEntriesReply callbacks to drive the commit index forward.
+	n.advanceCommit()
 	n.broadcastAppend()
 }

@@ -1,0 +1,72 @@
+package scenario
+
+import "testing"
+
+// fuzzSpace mirrors the shape of the shipped hyperspaces: a wide
+// mask-style axis, a stepped population axis, a boolean, and a
+// negative-min stepped axis. Its compact layout spans enough bits to
+// exercise the lo word packing with heterogeneous widths.
+func fuzzSpace() *Space {
+	return MustNewSpace(
+		Dimension{Name: "mac_mask", Min: 0, Max: 4095, Step: 1},
+		Dimension{Name: "clients", Min: 10, Max: 250, Step: 10},
+		Dimension{Name: "flag", Min: 0, Max: 1, Step: 1},
+		Dimension{Name: "wide", Min: -1000, Max: 1000, Step: 7},
+	)
+}
+
+// FuzzCompactKey checks the packed scenario identity end to end:
+// encode (Compact) / decode (FromCompact) roundtrips, clamping
+// normalization of arbitrary raw words, and the identity contract that
+// two scenarios share a key exactly when they are the same point.
+func FuzzCompactKey(f *testing.F) {
+	f.Add(int64(0), int64(10), int64(0), int64(-1000), int64(0), int64(10), int64(0), int64(-1000), uint64(0), uint64(0))
+	f.Add(int64(4095), int64(250), int64(1), int64(1000), int64(0), int64(10), int64(0), int64(-1000), uint64(^uint64(0)), uint64(^uint64(0)))
+	f.Add(int64(2730), int64(130), int64(1), int64(3), int64(2730), int64(130), int64(1), int64(3), uint64(1)<<63, uint64(12345))
+	f.Add(int64(-5), int64(999), int64(7), int64(0), int64(5), int64(-999), int64(-7), int64(1), uint64(42), uint64(7))
+	f.Fuzz(func(t *testing.T, a1, a2, a3, a4, b1, b2, b3, b4 int64, hi, lo uint64) {
+		space := fuzzSpace()
+		sc1 := space.New(map[string]int64{"mac_mask": a1, "clients": a2, "flag": a3, "wide": a4})
+		sc2 := space.New(map[string]int64{"mac_mask": b1, "clients": b2, "flag": b3, "wide": b4})
+
+		// Encode/decode roundtrip: FromCompact(Compact(sc)) is sc.
+		k1 := sc1.Compact()
+		rt := space.FromCompact(k1)
+		if rt.Compact() != k1 {
+			t.Fatalf("roundtrip key mismatch for %s", sc1)
+		}
+		for _, d := range space.Dimensions() {
+			if rt.GetOr(d.Name, -1) != sc1.GetOr(d.Name, -1) {
+				t.Fatalf("roundtrip of %s lost %s: %s", sc1, d.Name, rt)
+			}
+		}
+
+		// Identity/ordering contract: equal keys exactly for equal
+		// points, and the string Key agrees with the compact one.
+		same := true
+		for _, d := range space.Dimensions() {
+			if sc1.GetOr(d.Name, -1) != sc2.GetOr(d.Name, -1) {
+				same = false
+				break
+			}
+		}
+		k2 := sc2.Compact()
+		if (k1 == k2) != same {
+			t.Fatalf("compact identity disagrees with point identity: %s vs %s", sc1, sc2)
+		}
+		if (sc1.Key() == sc2.Key()) != (k1 == k2) {
+			t.Fatalf("string identity disagrees with compact identity: %s vs %s", sc1, sc2)
+		}
+
+		// Arbitrary raw words decode by clamping onto the axes, and the
+		// clamped point re-encodes stably (decode-encode is idempotent).
+		dec := space.FromCompact(KeyFromWords(hi, lo))
+		k3 := dec.Compact()
+		if space.FromCompact(k3).Compact() != k3 {
+			t.Fatalf("decode of raw words (%#x,%#x) is not idempotent", hi, lo)
+		}
+		if h, l := KeyFromWords(hi, lo).Words(); h != hi || l != lo {
+			t.Fatalf("Words/KeyFromWords not inverse for (%#x,%#x)", hi, lo)
+		}
+	})
+}

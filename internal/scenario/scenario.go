@@ -297,6 +297,14 @@ func (sc Scenario) Compact() CompactKey {
 	return k
 }
 
+// Words returns the raw 128-bit packing of the key, for serialization.
+func (k CompactKey) Words() (hi, lo uint64) { return k.hi, k.lo }
+
+// KeyFromWords rebuilds a CompactKey from its raw words (the inverse of
+// Words). Stray bits outside a space's packed layout are tolerated by
+// FromCompact, which clamps every index onto its axis.
+func KeyFromWords(hi, lo uint64) CompactKey { return CompactKey{hi: hi, lo: lo} }
+
 // FromCompact rebuilds the scenario a CompactKey of this space encodes
 // (the inverse of Scenario.Compact). Out-of-range indices are clamped
 // onto the axis, mirroring At.
@@ -318,6 +326,24 @@ func (s *Space) FromCompact(k CompactKey) Scenario {
 		vals[i] = d.Value(int64(idx))
 	}
 	return Scenario{space: s, values: vals}
+}
+
+// Weight is the scenario's distance from the all-minimum point of its
+// space: the sum of its per-dimension axis indices. Since every
+// dimension's minimum is its least-faulty setting (attacks off, smallest
+// deployment), Weight measures the size of the fault schedule — the
+// quantity Minimize drives down. A scenario is strictly smaller than
+// another of the same space when no dimension index is higher and at
+// least one is lower, which implies a lower Weight.
+func (sc Scenario) Weight() int64 {
+	if sc.space == nil {
+		return 0
+	}
+	var w int64
+	for i, d := range sc.space.dims {
+		w += d.Index(sc.values[i])
+	}
+	return w
 }
 
 // Key returns a canonical string identifying the scenario, used in

@@ -11,19 +11,22 @@ import (
 	"time"
 
 	"avd/internal/core"
+	"avd/internal/oracle"
 	"avd/internal/plugin"
 )
 
 // WriteCampaignCSV writes one row per executed test: iteration, scenario
-// parameters, impact, throughput, latency, crash/view-change counters.
+// parameters, impact, throughput, latency, crash/view-change counters,
+// and the oracle invariants the run violated (semicolon-joined).
 func WriteCampaignCSV(w io.Writer, label string, results []core.Result) error {
-	if _, err := fmt.Fprintln(w, "strategy,iteration,scenario,impact,throughput_rps,baseline_rps,avg_latency_s,crashed_replicas,view_changes,generator"); err != nil {
+	if _, err := fmt.Fprintln(w, "strategy,iteration,scenario,impact,throughput_rps,baseline_rps,avg_latency_s,crashed_replicas,view_changes,generator,violations"); err != nil {
 		return err
 	}
 	for i, r := range results {
-		_, err := fmt.Fprintf(w, "%s,%d,%q,%.4f,%.1f,%.1f,%.4f,%d,%d,%s\n",
+		_, err := fmt.Fprintf(w, "%s,%d,%q,%.4f,%.1f,%.1f,%.4f,%d,%d,%s,%s\n",
 			label, i+1, r.Scenario.Key(), r.Impact, r.Throughput, r.BaselineThroughput,
-			r.AvgLatency.Seconds(), r.CrashedReplicas, r.ViewChanges, r.Generator)
+			r.AvgLatency.Seconds(), r.CrashedReplicas, r.ViewChanges, r.Generator,
+			strings.Join(oracle.Names(r.Violations), ";"))
 		if err != nil {
 			return err
 		}
@@ -282,6 +285,24 @@ func SummarizeCampaign(w io.Writer, label string, results []core.Result) {
 		fmt.Fprintf(w, "  impact >= 0.90 first reached at test %d\n", n)
 	} else {
 		fmt.Fprintf(w, "  impact >= 0.90 never reached\n")
+	}
+	// Count how many tests tripped each invariant, in first-seen order.
+	counts := make(map[string]int)
+	var order []string
+	for _, r := range results {
+		for _, inv := range oracle.Names(r.Violations) {
+			if counts[inv] == 0 {
+				order = append(order, inv)
+			}
+			counts[inv]++
+		}
+	}
+	if len(order) > 0 {
+		parts := make([]string, len(order))
+		for i, inv := range order {
+			parts[i] = fmt.Sprintf("%s (%d tests)", inv, counts[inv])
+		}
+		fmt.Fprintf(w, "  oracle violations: %s\n", strings.Join(parts, ", "))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"avd/internal/core"
+	"avd/internal/oracle"
 	"avd/internal/plugin"
 	"avd/internal/scenario"
 )
@@ -37,6 +38,10 @@ func sampleResults(t *testing.T) []core.Result {
 			CrashedReplicas:    2,
 			ViewChanges:        3,
 			Generator:          "mutate:maccorrupt",
+			Violations: []oracle.Violation{
+				{Invariant: "pbft/agreement", Detail: "nodes 0 and 1 committed different values at seq 7", Count: 2},
+				{Invariant: "pbft/durability", Detail: "node 2 overwrote seq 5", Count: 1},
+			},
 		},
 	}
 }
@@ -56,6 +61,15 @@ func TestWriteCampaignCSV(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], "0.9500") || !strings.Contains(lines[2], "mutate:maccorrupt") {
 		t.Errorf("row 2 lacks impact/generator: %q", lines[2])
+	}
+	if !strings.HasSuffix(lines[0], ",violations") {
+		t.Errorf("header lacks violations column: %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[2], "pbft/agreement;pbft/durability") {
+		t.Errorf("row 2 lacks violated invariants: %q", lines[2])
+	}
+	if strings.HasSuffix(lines[1], "pbft/agreement;pbft/durability") {
+		t.Errorf("violation-free row 1 carries invariants: %q", lines[1])
 	}
 }
 
@@ -167,6 +181,9 @@ func TestSummarizeCampaign(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "best impact 0.950") {
 		t.Errorf("summary lacks best impact: %q", out)
+	}
+	if !strings.Contains(out, "oracle violations: pbft/agreement (1 tests), pbft/durability (1 tests)") {
+		t.Errorf("summary lacks oracle violation counts: %q", out)
 	}
 	if !strings.Contains(out, "reached at test 2") {
 		t.Errorf("summary lacks tests-to-impact: %q", out)
