@@ -120,6 +120,10 @@ type (
 	// shipped targets wire agreement/durability (both) and election
 	// safety (Raft) checkers into every run.
 	OracleChecker = oracle.Checker
+	// Snapshotter is the snapshot/fork capability: a Target whose runner
+	// executes tests by forking a warm post-warmup deployment snapshot.
+	// Engines detect it automatically; both shipped targets implement it.
+	Snapshotter = core.Snapshotter
 	// MinimizeConfig tunes scenario minimization.
 	MinimizeConfig = core.MinimizeConfig
 	// MinimizeStep reports one probed candidate during minimization.
@@ -188,6 +192,11 @@ func WithObserver(obs CampaignObserver) EngineOption { return core.WithObserver(
 
 // WithCheckpoint attaches a checkpoint for cancel-and-resume campaigns.
 func WithCheckpoint(ck *Checkpoint) EngineOption { return core.WithCheckpoint(ck) }
+
+// WithColdRuns disables snapshot/fork execution: every test cold-builds
+// a fresh deployment even when the target supports forking. Results are
+// identical either way; this exists for benchmarking the two paths.
+func WithColdRuns() EngineOption { return core.WithColdRuns() }
 
 // NewCheckpoint returns an empty campaign checkpoint.
 func NewCheckpoint() *Checkpoint { return core.NewCheckpoint() }

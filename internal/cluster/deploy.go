@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"avd/internal/core"
+	"avd/internal/faultinject"
+	"avd/internal/graycode"
+	"avd/internal/mac"
+	"avd/internal/metrics"
+	"avd/internal/oracle"
+	"avd/internal/pbft"
+	"avd/internal/plugin"
+	"avd/internal/scenario"
+	"avd/internal/sim"
+	"avd/internal/simnet"
+)
+
+// deployment is one instantiated PBFT cluster bound to its own engine.
+// Construction is fault-neutral: every scenario-specific tool (MAC
+// corruption plans, Byzantine behaviors, interceptors) arms at
+// measurement start, which is what lets one warm deployment serve many
+// tests — the warmup prefix is shared, scenarios only diverge once
+// fault injection begins (DESIGN.md §8). A deployment is single-run at a
+// time and not safe for concurrent use; the Runner's master cache hands
+// each worker its own.
+type deployment struct {
+	w         Workload
+	eng       *sim.Engine
+	net       *simnet.Network
+	keyring   *mac.Keyring
+	oracles   *oracle.Set
+	replicas  []*pbft.Replica
+	byz       *pbft.ByzantineBehavior // attached to replica 0, zero = inert
+	clients   []*pbft.Client
+	malicious []*pbft.Client
+
+	// Measurement plumbing: completions count only inside the window.
+	measuring bool
+	completed uint64
+	latSum    time.Duration
+	latN      uint64
+	latTail   []time.Duration
+
+	// snap is the post-warmup capture forks restore from (nil until the
+	// first forked run).
+	snap *deploymentSnapshot
+}
+
+// deploymentSnapshot pairs the engine/network captures with every
+// replica's and client's own state capture.
+type deploymentSnapshot struct {
+	eng       *sim.Snapshot
+	net       *simnet.NetSnapshot
+	oracles   []any
+	replicas  []*pbft.ReplicaState
+	clients   []*pbft.ClientState
+	malicious []*pbft.ClientState
+}
+
+// newDeployment builds and starts a fault-neutral deployment with the
+// given client population. The caller runs the warmup.
+func (r *Runner) newDeployment(correctClients, nMalicious int64) *deployment {
+	w := r.w
+	d := &deployment{
+		w:       w,
+		eng:     sim.New(w.Seed),
+		net:     nil,
+		keyring: mac.NewKeyring(uint64(w.Seed)),
+		oracles: oracle.NewSet(oracle.NewAgreement("pbft")),
+		byz:     &pbft.ByzantineBehavior{},
+	}
+	d.net = simnet.New(d.eng, w.Net)
+
+	// Protocol oracles observe every replica's executions: no two
+	// replicas may commit different batches at one sequence number
+	// (agreement), and no replica may overwrite its own committed
+	// history (durability).
+	d.replicas = make([]*pbft.Replica, 0, w.PBFT.N)
+	for i := 0; i < w.PBFT.N; i++ {
+		id := i
+		opts := []pbft.ReplicaOption{
+			pbft.WithCrashOnBadReproposal(w.CrashOnBadReproposal),
+			pbft.WithCommitObserver(func(seq, digest uint64) {
+				d.oracles.Observe(oracle.Event{Kind: oracle.EventCommit, Node: id, Seq: seq, Digest: digest})
+			}),
+		}
+		if i == 0 {
+			// The potential Byzantine primary: behavior fields stay zero
+			// (a correct replica) until a scenario arms them.
+			opts = append(opts, pbft.WithByzantine(d.byz))
+		}
+		rep, err := pbft.NewReplica(i, w.PBFT, d.net, d.keyring, opts...)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: replica construction: %v", err)) // config was validated
+		}
+		d.replicas = append(d.replicas, rep)
+	}
+
+	onComplete := d.onComplete
+
+	// Correct clients.
+	nextAddr := simnet.Addr(w.PBFT.N)
+	d.clients = make([]*pbft.Client, 0, correctClients)
+	for i := int64(0); i < correctClients; i++ {
+		c, err := pbft.NewClient(nextAddr, w.PBFT, w.Correct, d.net, d.keyring,
+			pbft.WithOnComplete(onComplete))
+		if err != nil {
+			panic(fmt.Sprintf("cluster: client construction: %v", err))
+		}
+		nextAddr++
+		d.clients = append(d.clients, c)
+	}
+
+	// Malicious clients: correct-behaving until a scenario arms its MAC
+	// corruption plan (their injector still counts generateMAC calls from
+	// boot, exactly like an instrumented binary would).
+	d.malicious = make([]*pbft.Client, 0, nMalicious)
+	for i := int64(0); i < nMalicious; i++ {
+		m, err := pbft.NewClient(nextAddr, w.PBFT, w.Malicious, d.net, d.keyring,
+			pbft.WithInjector(faultinject.NewInjector(faultinject.Plan{})))
+		if err != nil {
+			panic(fmt.Sprintf("cluster: malicious client construction: %v", err))
+		}
+		nextAddr++
+		d.malicious = append(d.malicious, m)
+	}
+
+	for _, c := range d.clients {
+		c.Start()
+	}
+	for _, m := range d.malicious {
+		m.Start()
+	}
+	return d
+}
+
+// onComplete observes one correct-client completion.
+func (d *deployment) onComplete(seq uint64, latency time.Duration) {
+	if !d.measuring {
+		return
+	}
+	d.completed++
+	d.latSum += latency
+	d.latN++
+	d.latTail = append(d.latTail, latency)
+}
+
+// capture takes the post-warmup snapshot forks restore from.
+func (d *deployment) capture() {
+	s := &deploymentSnapshot{
+		eng:     d.eng.Snapshot(),
+		net:     d.net.Snapshot(),
+		oracles: d.oracles.Snapshot(),
+	}
+	for _, rep := range d.replicas {
+		s.replicas = append(s.replicas, rep.Snapshot())
+	}
+	for _, c := range d.clients {
+		s.clients = append(s.clients, c.Snapshot())
+	}
+	for _, m := range d.malicious {
+		s.malicious = append(s.malicious, m.Snapshot())
+	}
+	d.snap = s
+}
+
+// restore rolls the whole deployment back to the post-warmup snapshot.
+func (d *deployment) restore() {
+	s := d.snap
+	d.eng.Restore(s.eng)
+	d.net.Restore(s.net)
+	d.oracles.Restore(s.oracles) // also detaches per-run checkers
+	for i, rep := range d.replicas {
+		rep.Restore(s.replicas[i])
+	}
+	for i, c := range d.clients {
+		c.Restore(s.clients[i])
+	}
+	for i, m := range d.malicious {
+		m.Restore(s.malicious[i])
+	}
+	*d.byz = pbft.ByzantineBehavior{}
+	d.measuring = false
+	d.completed = 0
+	d.latSum, d.latN = 0, 0
+}
+
+// arm activates the scenario's faults and per-run checkers. It runs at
+// measurement start on the cold path and the forked path alike, so both
+// execute the identical post-warmup event sequence.
+func (d *deployment) arm(sc scenario.Scenario, withFaults bool, extra ...oracle.Checker) {
+	d.oracles.Attach(extra...)
+	if !withFaults {
+		return
+	}
+	w := d.w
+
+	maskCoord := sc.GetOr(plugin.DimMACMask, 0)
+	mask := uint64(maskCoord)
+	if !w.BinaryMask {
+		mask = graycode.Encode(uint64(maskCoord))
+	}
+	slowPrimary := sc.GetOr(plugin.DimSlowPrimary, 0) == 1
+	collude := slowPrimary && sc.GetOr(plugin.DimCollude, 0) == 1
+	slowInterval := time.Duration(sc.GetOr(plugin.DimSlowIntervalMS, 0)) * time.Millisecond
+	reorderPct := sc.GetOr(plugin.DimReorderPct, 0)
+	reorderDelay := time.Duration(sc.GetOr(plugin.DimReorderDelayMS, 0)) * time.Millisecond
+	dropCall := sc.GetOr(plugin.DimDropCall, 0)
+	dropLen := sc.GetOr(plugin.DimDropLen, 0)
+
+	// Network-level tools.
+	if reorderPct > 0 && reorderDelay > 0 {
+		d.net.AddInterceptor(simnet.NewReorderer(w.Seed+7, float64(reorderPct)/100, reorderDelay))
+	}
+
+	// Client-level tools: MAC corruption per the mask, plus collusion.
+	d.byz.SlowPrimary = slowPrimary
+	d.byz.SlowInterval = slowInterval
+	d.byz.Equivocate = w.Equivocate
+	for _, m := range d.malicious {
+		m.SetPlan(faultinject.NewPlan(faultinject.Rule{
+			Point:    pbft.PointGenerateMAC,
+			Trigger:  faultinject.ModMask{Mask: mask, Period: uint64(w.MaskBits)},
+			Decision: faultinject.Decision{Action: faultinject.ActCorrupt},
+		}))
+		if collude {
+			m.SetBroadcast(true) // seeds the backups' request timers
+			if d.byz.ColludeWith == nil {
+				d.byz.ColludeWith = make(map[simnet.Addr]bool)
+			}
+			d.byz.ColludeWith[m.Addr()] = true
+		}
+	}
+	if dropLen > 0 && len(d.malicious) > 0 {
+		d.net.AddInterceptor(newDropWindow(d.malicious[0].Addr(), uint64(dropCall), uint64(dropLen)))
+	}
+	d.replicas[0].ApplyByzantine()
+}
+
+// measure runs the measurement window and collects the scenario outcome.
+func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
+	tailBuf := tailPool.Get().(*[]time.Duration)
+	d.latTail = (*tailBuf)[:0]
+	defer func() {
+		*tailBuf = d.latTail[:0]
+		tailPool.Put(tailBuf)
+		d.latTail = nil
+	}()
+
+	d.measuring = true
+	d.eng.RunFor(d.w.Measure)
+	d.measuring = false
+
+	// Censored latency: a request still stuck at window end (e.g. the
+	// whole system crashed) contributes its elapsed wait, so that total
+	// collapse shows up as high average latency rather than as a rosy
+	// average over the few requests that did complete.
+	end := d.eng.Now()
+	for _, c := range d.clients {
+		if sentAt, ok := c.Outstanding(); ok {
+			if waited := end.Sub(sentAt); waited > 0 {
+				d.latSum += waited
+				d.latN++
+				d.latTail = append(d.latTail, waited)
+			}
+		}
+	}
+
+	res := core.Result{Scenario: sc}
+	res.Throughput = float64(d.completed) / d.w.Measure.Seconds()
+	if d.latN > 0 {
+		res.AvgLatency = d.latSum / time.Duration(d.latN)
+	}
+	rep := Report{CorrectCompleted: d.completed}
+	for _, c := range d.clients {
+		rep.Retransmissions += c.Stats().Retransmissions
+	}
+	for _, m := range d.malicious {
+		rep.MaliciousCompleted += m.Stats().Completed
+	}
+	for _, rpl := range d.replicas {
+		st := rpl.Stats()
+		rep.ViewsInstalled += st.ViewsInstalled
+		rep.TimerViewChanges += st.TimerViewChanges
+		rep.RejectedBatches += st.RejectedBatches
+		rep.RejectedRequests += st.RejectedRequests
+		rep.StateTransfers += st.StateTransfers
+		rep.FinalViews = append(rep.FinalViews, rpl.View())
+		if crashed, reason := rpl.Crashed(); crashed {
+			rep.CrashedReplicas = append(rep.CrashedReplicas, rpl.ID())
+			rep.CrashReasons = append(rep.CrashReasons, reason)
+		}
+	}
+	res.CrashedReplicas = len(rep.CrashedReplicas)
+	res.ViewChanges = rep.ViewsInstalled
+	rep.P99Latency = metrics.PercentileInPlace(d.latTail, 99)
+	res.Violations = d.oracles.Finish()
+	return res, rep
+}

@@ -71,6 +71,20 @@ type RunnerFunc func(sc scenario.Scenario) Result
 // Run implements Runner.
 func (f RunnerFunc) Run(sc scenario.Scenario) Result { return f(sc) }
 
+// Snapshotter is the snapshot/fork capability (DESIGN.md §8): a Runner
+// that can execute scenarios by forking a warm, post-warmup deployment
+// snapshot instead of cold-building the system for every test. RunFork
+// must be deterministic and indistinguishable from Run — same trace,
+// same metrics, same oracle verdicts — and, like Run, safe for
+// concurrent use. An Engine detects the capability on its Target and
+// switches to fork-per-test execution automatically; targets that do not
+// implement it transparently keep cold runs (see WithColdRuns to force
+// them).
+type Snapshotter interface {
+	// RunFork executes the scenario from a warm snapshot.
+	RunFork(sc scenario.Scenario) Result
+}
+
 // Plugin mediates between the controller and one testing tool (§3): it
 // owns the tool's hyperspace dimensions and knows how to mutate them by a
 // given distance. Implementations live in internal/plugin.

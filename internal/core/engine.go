@@ -86,6 +86,7 @@ type engineConfig struct {
 	explorer   Explorer
 	observer   CampaignObserver
 	checkpoint *Checkpoint
+	coldRuns   bool
 }
 
 // WithWorkers sets the number of concurrent test-execution workers.
@@ -123,6 +124,15 @@ func WithExplorer(ex Explorer) EngineOption {
 // re-observed.
 func WithObserver(obs CampaignObserver) EngineOption {
 	return func(c *engineConfig) { c.observer = obs }
+}
+
+// WithColdRuns disables snapshot/fork execution: every test cold-builds
+// and warms a fresh deployment even when the target implements
+// Snapshotter. Forked and cold runs are bit-for-bit identical (enforced
+// by test), so this exists for benchmarking the two paths against each
+// other, not for correctness.
+func WithColdRuns() EngineOption {
+	return func(c *engineConfig) { c.coldRuns = true }
 }
 
 // WithCheckpoint attaches a checkpoint: results already in it are
@@ -225,22 +235,48 @@ func (e *Engine) setErr(err error) {
 // untouched.
 func (e *Engine) Run(ctx context.Context) <-chan Result {
 	out := make(chan Result, e.cfg.workers)
-	e.mu.Lock()
-	if e.started {
-		e.mu.Unlock()
+	if !e.begin() {
 		close(out)
 		return out
 	}
-	e.started = true
-	e.mu.Unlock()
-	go e.run(ctx, out)
+	go func() {
+		defer close(out)
+		e.drive(ctx, func(res Result) bool {
+			select {
+			case out <- res:
+				return true
+			case <-ctx.Done():
+				// The consumer is gone; the driver keeps feeding the
+				// explorer and the checkpoint so a resumed campaign sees
+				// a complete batch, but stops emitting.
+				e.setErr(ctx.Err())
+				return false
+			}
+		})
+	}()
 	return out
 }
 
-// RunAll drives Run to completion and returns the collected new results
-// plus the campaign's terminal error (nil, cancellation, or replay
-// mismatch). On cancellation the partial results are still returned.
+// RunAll drives the campaign to completion and returns the collected new
+// results plus the campaign's terminal error (nil, cancellation, or
+// replay mismatch). On cancellation the partial results are still
+// returned.
+//
+// With a single worker RunAll runs the whole campaign inline on the
+// calling goroutine — no coordinator goroutine, no channel hop per
+// result — so workers=1 costs exactly what the serial campaign costs.
 func (e *Engine) RunAll(ctx context.Context) ([]Result, error) {
+	if e.cfg.workers == 1 {
+		if !e.begin() {
+			return nil, e.Err()
+		}
+		var results []Result
+		e.drive(ctx, func(res Result) bool {
+			results = append(results, res)
+			return true
+		})
+		return results, e.Err()
+	}
 	var results []Result
 	for res := range e.Run(ctx) {
 		results = append(results, res)
@@ -248,8 +284,21 @@ func (e *Engine) RunAll(ctx context.Context) ([]Result, error) {
 	return results, e.Err()
 }
 
-func (e *Engine) run(ctx context.Context, out chan<- Result) {
-	defer close(out)
+// begin claims the engine's single campaign; false when already run.
+func (e *Engine) begin() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return false
+	}
+	e.started = true
+	return true
+}
+
+// drive executes the campaign, handing each newly executed result to
+// emit in dispatch order. emit returns false to stop emitting (the
+// in-flight batch still finishes its bookkeeping).
+func (e *Engine) drive(ctx context.Context, emit func(Result) bool) {
 
 	// The replay prefix: results a previous (interrupted) campaign
 	// already executed. Replay must flow through the very same batch
@@ -264,6 +313,13 @@ func (e *Engine) run(ctx context.Context, out chan<- Result) {
 	}
 
 	warmer, _ := e.target.(Warmer)
+	// Snapshot/fork execution: when the target declares the capability,
+	// every test forks from a warm per-population snapshot instead of
+	// cold-building the deployment (identical results, enforced by test).
+	runFn := e.target.Run
+	if s, ok := e.target.(Snapshotter); ok && !e.cfg.coldRuns {
+		runFn = s.RunFork
+	}
 	workers := e.cfg.workers
 	if workers > e.cfg.budget {
 		workers = e.cfg.budget
@@ -315,14 +371,14 @@ func (e *Engine) run(ctx context.Context, out chan<- Result) {
 			warmer.Warm(live)
 		}
 		if len(live) == 1 {
-			results[replayed] = e.target.Run(live[0])
+			results[replayed] = runFn(live[0])
 		} else if len(live) > 1 {
 			var wg sync.WaitGroup
 			for i := range live {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					results[replayed+i] = e.target.Run(live[i])
+					results[replayed+i] = runFn(live[i])
 				}(i)
 			}
 			wg.Wait()
@@ -350,13 +406,7 @@ func (e *Engine) run(ctx context.Context, out chan<- Result) {
 			if canceled {
 				continue // keep bookkeeping consistent, stop emitting
 			}
-			select {
-			case out <- res:
-			case <-ctx.Done():
-				// The consumer is gone; finish feeding the explorer and
-				// the checkpoint so a resumed campaign sees a complete
-				// batch, but stop emitting.
-				e.setErr(ctx.Err())
+			if !emit(res) {
 				canceled = true
 			}
 		}

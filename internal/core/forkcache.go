@@ -1,0 +1,42 @@
+package core
+
+import "sync"
+
+// ForkCache is the master-deployment checkout that fork-capable
+// harnesses share (DESIGN.md §8): warm deployments keyed by structural
+// identity, checked out exclusively by one worker at a time and returned
+// after the forked run. It is the snapshot-era sibling of BaselineCache —
+// harness infrastructure hoisted here so the PBFT and Raft targets
+// cannot drift apart. The zero value is ready to use.
+type ForkCache[K comparable, D any] struct {
+	mu   sync.Mutex
+	free map[K][]D
+}
+
+// Acquire checks out a free deployment for key, building one when none
+// is available. build runs outside the lock: concurrent workers on a
+// cold cache each build their own — deterministically identical — master
+// rather than serializing behind a single build.
+func (c *ForkCache[K, D]) Acquire(key K, build func() D) D {
+	c.mu.Lock()
+	if free := c.free[key]; len(free) > 0 {
+		d := free[len(free)-1]
+		var zero D
+		free[len(free)-1] = zero
+		c.free[key] = free[:len(free)-1]
+		c.mu.Unlock()
+		return d
+	}
+	c.mu.Unlock()
+	return build()
+}
+
+// Release returns a deployment to the cache for the next checkout.
+func (c *ForkCache[K, D]) Release(key K, d D) {
+	c.mu.Lock()
+	if c.free == nil {
+		c.free = make(map[K][]D)
+	}
+	c.free[key] = append(c.free[key], d)
+	c.mu.Unlock()
+}

@@ -204,20 +204,92 @@ func (p Plan) String() string {
 // client"). Injector is not safe for concurrent use; within a simulation
 // all calls happen on the engine goroutine.
 type Injector struct {
-	byPoint  map[string][]Rule
-	counters map[string]uint64
+	points map[string]*Point
+}
+
+// Point is one named injection point's resolved state: its rules and
+// call counter. Instrumented call sites that consult a point on a hot
+// path resolve the handle once (Injector.Point) and Check it directly,
+// skipping the per-call map lookup; the handle stays valid across
+// SetPlan and counter restores.
+type Point struct {
+	rules []Rule
+	calls uint64
 }
 
 // NewInjector returns an injector evaluating plan.
 func NewInjector(plan Plan) *Injector {
-	in := &Injector{
-		byPoint:  make(map[string][]Rule),
-		counters: make(map[string]uint64),
-	}
+	in := &Injector{points: make(map[string]*Point)}
 	for _, r := range plan.rules {
-		in.byPoint[r.Point] = append(in.byPoint[r.Point], r)
+		in.point(r.Point).rules = append(in.point(r.Point).rules, r)
 	}
 	return in
+}
+
+// point resolves (creating on first use) the named point.
+func (in *Injector) point(name string) *Point {
+	p, ok := in.points[name]
+	if !ok {
+		p = &Point{}
+		in.points[name] = p
+	}
+	return p
+}
+
+// Point returns the long-lived handle for the named injection point.
+func (in *Injector) Point(name string) *Point { return in.point(name) }
+
+// Check consults the point, advancing its call counter, and returns the
+// decision for this call (the first matching rule wins).
+func (p *Point) Check() Decision {
+	d, _ := p.CheckN()
+	return d
+}
+
+// CheckN is Check but also returns the zero-based call number consumed.
+func (p *Point) CheckN() (Decision, uint64) {
+	call := p.calls
+	p.calls++
+	for _, r := range p.rules {
+		if r.Trigger.Match(call) {
+			return r.Decision, call
+		}
+	}
+	return none, call
+}
+
+// SetPlan swaps the injector's rules while keeping every point's call
+// counter. Snapshot/fork harnesses use this to arm a scenario's plan at
+// measurement start: the counters have been advancing since deployment
+// boot (instrumented call sites consult the injector unconditionally),
+// and keeping them makes an armed fork behave exactly like a cold run
+// that armed the same plan at the same instant.
+func (in *Injector) SetPlan(plan Plan) {
+	for _, p := range in.points {
+		p.rules = p.rules[:0]
+	}
+	for _, r := range plan.rules {
+		p := in.point(r.Point)
+		p.rules = append(p.rules, r)
+	}
+}
+
+// CounterSnapshot captures the per-point call counters.
+func (in *Injector) CounterSnapshot() map[string]uint64 {
+	cp := make(map[string]uint64, len(in.points))
+	for k, p := range in.points {
+		cp[k] = p.calls
+	}
+	return cp
+}
+
+// RestoreCounters rolls the per-point call counters back to a snapshot.
+// Points created after the snapshot reset to zero; point handles remain
+// valid.
+func (in *Injector) RestoreCounters(snap map[string]uint64) {
+	for k, p := range in.points {
+		p.calls = snap[k]
+	}
 }
 
 // Check consults the injection point, advancing its call counter, and
@@ -229,18 +301,11 @@ func (in *Injector) Check(point string) Decision {
 
 // CheckN is Check but also returns the zero-based call number consumed.
 func (in *Injector) CheckN(point string) (Decision, uint64) {
-	call := in.counters[point]
-	in.counters[point] = call + 1
-	for _, r := range in.byPoint[point] {
-		if r.Trigger.Match(call) {
-			return r.Decision, call
-		}
-	}
-	return none, call
+	return in.point(point).CheckN()
 }
 
 // Calls returns how many times the point has been consulted.
-func (in *Injector) Calls(point string) uint64 { return in.counters[point] }
+func (in *Injector) Calls(point string) uint64 { return in.point(point).calls }
 
 // Disabled is a shared injector with an empty plan, for correct nodes.
 // It still counts calls, so do not share it across nodes whose call

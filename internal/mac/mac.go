@@ -13,8 +13,6 @@
 // and determinism, not cryptographic strength; real PBFT used UMAC32.
 package mac
 
-import "encoding/binary"
-
 // Key is a pairwise session key.
 type Key uint64
 
@@ -26,17 +24,16 @@ const (
 	fnvPrime  = 1099511628211
 )
 
+// mix folds one 64-bit word into the running FNV-1a state. Folding whole
+// words instead of bytes keeps the xor-multiply structure (each step is a
+// bijection of the state, so collisions need distinct multi-word inputs)
+// at an eighth of the multiplies; MAC generation was a top-three CPU site
+// of a full-throughput deployment under the byte-at-a-time variant.
+func mix(h, w uint64) uint64 { return (h ^ w) * fnvPrime }
+
 // Sum computes the tag of digest under key.
 func Sum(key Key, digest uint64) Tag {
-	var buf [16]byte
-	binary.LittleEndian.PutUint64(buf[0:8], uint64(key))
-	binary.LittleEndian.PutUint64(buf[8:16], digest)
-	h := uint64(fnvOffset)
-	for _, b := range buf {
-		h ^= uint64(b)
-		h *= fnvPrime
-	}
-	return Tag(h)
+	return Tag(mix(mix(fnvOffset, uint64(key)), digest))
 }
 
 // Verify reports whether tag authenticates digest under key.
@@ -90,14 +87,5 @@ func (kr *Keyring) Pairwise(a, b int) Key {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	var buf [24]byte
-	binary.LittleEndian.PutUint64(buf[0:8], kr.seed)
-	binary.LittleEndian.PutUint64(buf[8:16], uint64(lo))
-	binary.LittleEndian.PutUint64(buf[16:24], uint64(hi))
-	h := uint64(fnvOffset)
-	for _, x := range buf {
-		h ^= uint64(x)
-		h *= fnvPrime
-	}
-	return Key(h)
+	return Key(mix(mix(mix(fnvOffset, kr.seed), uint64(lo)), uint64(hi)))
 }

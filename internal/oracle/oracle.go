@@ -107,12 +107,23 @@ type Checker interface {
 	Finish() []Violation
 }
 
+// Rewindable is implemented by checkers that can take part in
+// snapshot/fork execution (DESIGN.md §8): SnapshotState captures the
+// checker's observation state at the warm point and RestoreState rolls
+// it back, so a forked run's Finish sees exactly what a cold run's
+// would. The state value is opaque to callers and owned by the checker.
+type Rewindable interface {
+	SnapshotState() any
+	RestoreState(st any)
+}
+
 // Set fans one event stream out to several checkers and concatenates
-// their findings in registration order. Deployment harnesses build one
-// Set per run (checkers are single-run, and runs execute concurrently
-// under parallel engines).
+// their findings in registration order. A Set is bound to one deployment
+// but — via Snapshot/Restore and per-run Attach — serves many runs when
+// the deployment executes forks from a warm snapshot.
 type Set struct {
 	checkers []Checker
+	base     int // checkers[:base] are deployment-bound; the rest per-run
 }
 
 // NewSet builds a set over the given checkers (nils are skipped).
@@ -123,6 +134,7 @@ func NewSet(checkers ...Checker) *Set {
 			s.checkers = append(s.checkers, c)
 		}
 	}
+	s.base = len(s.checkers)
 	return s
 }
 
@@ -142,32 +154,80 @@ func (s *Set) Finish() []Violation {
 	return out
 }
 
-// violationAgg aggregates repeated trips of one invariant: first witness
-// wins the Detail, later trips only bump the count.
-type violationAgg struct {
-	order []string
-	byInv map[string]*Violation
+// Attach adds per-run checkers (e.g. a trace Recorder for one forked
+// run). Detach removes them again; the deployment-bound base set is
+// untouched.
+func (s *Set) Attach(extra ...Checker) {
+	for _, c := range extra {
+		if c != nil {
+			s.checkers = append(s.checkers, c)
+		}
+	}
 }
 
-func newViolationAgg() violationAgg {
-	return violationAgg{byInv: make(map[string]*Violation)}
+// Detach removes every checker added by Attach.
+func (s *Set) Detach() {
+	for i := s.base; i < len(s.checkers); i++ {
+		s.checkers[i] = nil
+	}
+	s.checkers = s.checkers[:s.base]
 }
+
+// Snapshot captures the state of every base checker. It returns nil
+// entries for checkers that do not implement Rewindable; Restore skips
+// those (their post-fork state is then undefined — fork-capable
+// harnesses use rewindable checkers only).
+func (s *Set) Snapshot() []any {
+	out := make([]any, s.base)
+	for i, c := range s.checkers[:s.base] {
+		if r, ok := c.(Rewindable); ok {
+			out[i] = r.SnapshotState()
+		}
+	}
+	return out
+}
+
+// Restore rolls every base checker back to the paired Snapshot and
+// detaches any per-run checkers.
+func (s *Set) Restore(st []any) {
+	s.Detach()
+	for i, c := range s.checkers[:s.base] {
+		if st[i] == nil {
+			continue
+		}
+		c.(Rewindable).RestoreState(st[i])
+	}
+}
+
+// violationAgg aggregates repeated trips of one invariant: first witness
+// wins the Detail, later trips only bump the count. Runs that break
+// nothing never touch it, so it stays a small ordered slice.
+type violationAgg struct {
+	found []Violation
+}
+
+func newViolationAgg() violationAgg { return violationAgg{} }
 
 func (a *violationAgg) trip(invariant, detail string) {
-	if v, ok := a.byInv[invariant]; ok {
-		v.Count++
-		return
+	for i := range a.found {
+		if a.found[i].Invariant == invariant {
+			a.found[i].Count++
+			return
+		}
 	}
-	a.order = append(a.order, invariant)
-	a.byInv[invariant] = &Violation{Invariant: invariant, Detail: detail, Count: 1}
+	a.found = append(a.found, Violation{Invariant: invariant, Detail: detail, Count: 1})
 }
 
 func (a *violationAgg) violations() []Violation {
-	out := make([]Violation, 0, len(a.order))
-	for _, inv := range a.order {
-		out = append(out, *a.byInv[inv])
-	}
-	return out
+	out := make([]Violation, 0, len(a.found))
+	return append(out, a.found...)
+}
+
+// snapshot/restore support the fork path; the slice is tiny (one entry
+// per distinct invariant tripped).
+func (a *violationAgg) snapshot() []Violation { return append([]Violation(nil), a.found...) }
+func (a *violationAgg) restore(st []Violation) {
+	a.found = append(a.found[:0], st...)
 }
 
 // Agreement checks the safety core shared by both shipped protocols:
@@ -182,33 +242,43 @@ func (a *violationAgg) violations() []Violation {
 //   - "<prefix>/durability": one node re-committed a different digest at
 //     a position it had already committed — a committed request was lost
 //     and overwritten in that node's history.
+//
+// Sequence numbers and node ids are small and dense in both shipped
+// protocols (seqs start at 1 and advance with execution), so the
+// checkers index flat slices instead of hashing into maps: observing a
+// commit is two indexed loads in the steady state, with zero allocation
+// once the slices have grown to the run's high-water mark (the alloc
+// guard in perf_test.go enforces this).
 type Agreement struct {
 	prefix string
-	// first commit seen per seq: digest and the node that made it.
-	commits map[uint64]commitWitness
+	// first commit seen per seq: digest and the node that made it
+	// (node < 0 when the slot is empty).
+	commits []commitCell
 	// perNode tracks each node's own committed digests by seq, catching
 	// local overwrites even after a cross-node conflict already tripped.
-	perNode map[int]map[uint64]uint64
+	perNode [][]digestCell
 	agg     violationAgg
 }
 
-type commitWitness struct {
+type commitCell struct {
 	digest uint64
-	node   int
+	node   int32
+	set    bool
+}
+
+type digestCell struct {
+	digest uint64
+	set    bool
 }
 
 // NewAgreement returns an agreement checker whose violations are named
 // "<prefix>/agreement" and "<prefix>/durability".
 func NewAgreement(prefix string) *Agreement {
-	return &Agreement{
-		prefix:  prefix,
-		commits: make(map[uint64]commitWitness),
-		perNode: make(map[int]map[uint64]uint64),
-		agg:     newViolationAgg(),
-	}
+	return &Agreement{prefix: prefix, agg: newViolationAgg()}
 }
 
 var _ Checker = (*Agreement)(nil)
+var _ Rewindable = (*Agreement)(nil)
 
 // Name implements Checker.
 func (c *Agreement) Name() string { return c.prefix + "/agreement" }
@@ -218,23 +288,30 @@ func (c *Agreement) Observe(ev Event) {
 	if ev.Kind != EventCommit {
 		return
 	}
-	mine := c.perNode[ev.Node]
-	if mine == nil {
-		mine = make(map[uint64]uint64)
-		c.perNode[ev.Node] = mine
+	seq := int(ev.Seq)
+	for ev.Node >= len(c.perNode) {
+		c.perNode = append(c.perNode, nil)
 	}
-	if prev, ok := mine[ev.Seq]; ok && prev != ev.Digest {
+	mine := c.perNode[ev.Node]
+	for seq >= len(mine) {
+		mine = append(mine, digestCell{})
+	}
+	c.perNode[ev.Node] = mine
+	if prev := mine[seq]; prev.set && prev.digest != ev.Digest {
 		c.agg.trip(c.prefix+"/durability", fmt.Sprintf(
 			"node %d overwrote its committed entry at seq %d: digest %#x replaced %#x",
-			ev.Node, ev.Seq, ev.Digest, prev))
+			ev.Node, ev.Seq, ev.Digest, prev.digest))
 	}
-	mine[ev.Seq] = ev.Digest
-	w, ok := c.commits[ev.Seq]
-	if !ok {
-		c.commits[ev.Seq] = commitWitness{digest: ev.Digest, node: ev.Node}
+	mine[seq] = digestCell{digest: ev.Digest, set: true}
+	for seq >= len(c.commits) {
+		c.commits = append(c.commits, commitCell{})
+	}
+	w := c.commits[seq]
+	if !w.set {
+		c.commits[seq] = commitCell{digest: ev.Digest, node: int32(ev.Node), set: true}
 		return
 	}
-	if w.digest != ev.Digest && w.node != ev.Node {
+	if w.digest != ev.Digest && int(w.node) != ev.Node {
 		c.agg.trip(c.prefix+"/agreement", fmt.Sprintf(
 			"nodes %d and %d committed different values at seq %d: %#x vs %#x",
 			w.node, ev.Node, ev.Seq, w.digest, ev.Digest))
@@ -244,25 +321,59 @@ func (c *Agreement) Observe(ev Event) {
 // Finish implements Checker.
 func (c *Agreement) Finish() []Violation { return c.agg.violations() }
 
+// agreementState is the Rewindable capture of an Agreement checker.
+type agreementState struct {
+	commits []commitCell
+	perNode [][]digestCell
+	agg     []Violation
+}
+
+// SnapshotState implements Rewindable.
+func (c *Agreement) SnapshotState() any {
+	st := &agreementState{
+		commits: append([]commitCell(nil), c.commits...),
+		perNode: make([][]digestCell, len(c.perNode)),
+		agg:     c.agg.snapshot(),
+	}
+	for i, mine := range c.perNode {
+		st.perNode[i] = append([]digestCell(nil), mine...)
+	}
+	return st
+}
+
+// RestoreState implements Rewindable.
+func (c *Agreement) RestoreState(v any) {
+	st := v.(*agreementState)
+	c.commits = append(c.commits[:0], st.commits...)
+	if len(c.perNode) > len(st.perNode) {
+		c.perNode = c.perNode[:len(st.perNode)]
+	}
+	for i, mine := range st.perNode {
+		if i < len(c.perNode) {
+			c.perNode[i] = append(c.perNode[i][:0], mine...)
+		} else {
+			c.perNode = append(c.perNode, append([]digestCell(nil), mine...))
+		}
+	}
+	c.agg.restore(st.agg)
+}
+
 // ElectionSafety checks Raft's Election Safety property: at most one
 // node assumes leadership in any given term (§5.2 of the Raft paper).
 type ElectionSafety struct {
 	prefix  string
-	leaders map[uint64]int // term -> first node that led it
+	leaders []int32 // term -> first node that led it (-1 = none yet)
 	agg     violationAgg
 }
 
 // NewElectionSafety returns an election-safety checker whose violation
 // is named "<prefix>/election-safety".
 func NewElectionSafety(prefix string) *ElectionSafety {
-	return &ElectionSafety{
-		prefix:  prefix,
-		leaders: make(map[uint64]int),
-		agg:     newViolationAgg(),
-	}
+	return &ElectionSafety{prefix: prefix, agg: newViolationAgg()}
 }
 
 var _ Checker = (*ElectionSafety)(nil)
+var _ Rewindable = (*ElectionSafety)(nil)
 
 // Name implements Checker.
 func (c *ElectionSafety) Name() string { return c.prefix + "/election-safety" }
@@ -272,12 +383,16 @@ func (c *ElectionSafety) Observe(ev Event) {
 	if ev.Kind != EventLeader {
 		return
 	}
-	first, ok := c.leaders[ev.Term]
-	if !ok {
-		c.leaders[ev.Term] = ev.Node
+	term := int(ev.Term)
+	for term >= len(c.leaders) {
+		c.leaders = append(c.leaders, -1)
+	}
+	first := c.leaders[term]
+	if first < 0 {
+		c.leaders[term] = int32(ev.Node)
 		return
 	}
-	if first != ev.Node {
+	if int(first) != ev.Node {
 		c.agg.trip(c.prefix+"/election-safety", fmt.Sprintf(
 			"nodes %d and %d both led term %d", first, ev.Node, ev.Term))
 	}
@@ -285,6 +400,24 @@ func (c *ElectionSafety) Observe(ev Event) {
 
 // Finish implements Checker.
 func (c *ElectionSafety) Finish() []Violation { return c.agg.violations() }
+
+// electionState is the Rewindable capture of an ElectionSafety checker.
+type electionState struct {
+	leaders []int32
+	agg     []Violation
+}
+
+// SnapshotState implements Rewindable.
+func (c *ElectionSafety) SnapshotState() any {
+	return &electionState{leaders: append([]int32(nil), c.leaders...), agg: c.agg.snapshot()}
+}
+
+// RestoreState implements Rewindable.
+func (c *ElectionSafety) RestoreState(v any) {
+	st := v.(*electionState)
+	c.leaders = append(c.leaders[:0], st.leaders...)
+	c.agg.restore(st.agg)
+}
 
 // Recorder captures the raw event stream of a run. It never reports
 // violations; it exists for golden-trace regression tests (a fixed

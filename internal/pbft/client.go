@@ -61,6 +61,9 @@ type Client struct {
 	net     *simnet.Network
 	keyring *mac.Keyring
 	inj     *faultinject.Injector
+	// macPoint is the resolved generateMAC injection-point handle (the
+	// per-call map lookup showed up in campaign profiles).
+	macPoint *faultinject.Point
 
 	running    bool
 	view       uint64 // best known view, learned from replies
@@ -74,6 +77,7 @@ type Client struct {
 	retryFor   uint64 // request seq the retry timer was armed for
 	retryFn    func() // pre-bound retry callback (no per-arm closure)
 	allAddrs   []simnet.Addr
+	authKeys   []mac.Key // pairwise key per replica, derived once
 
 	// onComplete, when set, observes every completed request.
 	onComplete func(seq uint64, latency time.Duration)
@@ -124,9 +128,12 @@ func NewClient(addr simnet.Addr, pcfg Config, ccfg ClientConfig, net *simnet.Net
 		opt(c)
 	}
 	c.retryFn = func() { c.onRetry(c.retryFor) }
+	c.macPoint = c.inj.Point(PointGenerateMAC)
 	c.allAddrs = make([]simnet.Addr, pcfg.N)
+	c.authKeys = make([]mac.Key, pcfg.N)
 	for i := range c.allAddrs {
 		c.allAddrs[i] = simnet.Addr(i)
+		c.authKeys[i] = keyring.Pairwise(int(addr), i)
 	}
 	net.Handle(addr, c.onMessage)
 	return c, nil
@@ -211,8 +218,8 @@ func (c *Client) buildRequest(retransmission bool) *Request {
 // generateMAC computes the authenticator entry for one replica, routing
 // through the instrumented injection point.
 func (c *Client) generateMAC(replica int, digest uint64) mac.Tag {
-	tag := mac.Sum(c.keyring.Pairwise(int(c.addr), replica), digest)
-	if d := c.inj.Check(PointGenerateMAC); d.Action == faultinject.ActCorrupt {
+	tag := mac.Sum(c.authKeys[replica], digest)
+	if d := c.macPoint.Check(); d.Action == faultinject.ActCorrupt {
 		tag = mac.Corrupt(tag)
 	}
 	return tag

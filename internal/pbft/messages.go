@@ -162,29 +162,25 @@ func NullRequest() *Request {
 // IsNull reports whether the request is a gap-filling null request.
 func (r *Request) IsNull() bool { return r.Op == nullRequestOp && r.Client == -1 }
 
-// BatchDigest combines the digests of a batch's requests.
+// BatchDigest combines the digests of a batch's requests (word-folded
+// FNV-1a, one multiply per request).
 func BatchDigest(batch []*Request) uint64 {
 	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
 	h := uint64(fnvOffset)
 	for _, r := range batch {
-		d := r.Digest()
-		for i := 0; i < 8; i++ {
-			h ^= (d >> (8 * i)) & 0xff
-			h *= fnvPrime
-		}
+		h = (h ^ r.Digest()) * fnvPrime
 	}
 	return h
 }
 
-// fnv3 hashes three words with FNV-1a.
+// fnv3 hashes three words with word-folded FNV-1a. Digest values only
+// ever feed equality checks and MAC inputs, so the word-at-a-time fold
+// (8x fewer multiplies than the byte variant) preserves behavior.
 func fnv3(a, b, c uint64) uint64 {
 	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
 	h := uint64(fnvOffset)
-	for _, w := range [3]uint64{a, b, c} {
-		for i := 0; i < 8; i++ {
-			h ^= (w >> (8 * i)) & 0xff
-			h *= fnvPrime
-		}
-	}
+	h = (h ^ a) * fnvPrime
+	h = (h ^ b) * fnvPrime
+	h = (h ^ c) * fnvPrime
 	return h
 }

@@ -174,6 +174,11 @@ type Replica struct {
 	slowTickFn     func()
 	nvTimeoutFn    func()
 
+	// authKeys caches the pairwise keys this replica authenticates with
+	// (entry i for replica i); the keyring derivation is deterministic,
+	// so deriving once at construction keeps authFor allocation-light.
+	authKeys []mac.Key
+
 	// commitObserver, when set, observes every batch execution: the
 	// sequence number and the batch digest this replica committed there.
 	// The deployment harness feeds these observations to protocol
@@ -234,6 +239,10 @@ func NewReplica(id int, cfg Config, net *simnet.Network, keyring *mac.Keyring, o
 	for _, opt := range opts {
 		opt(r)
 	}
+	r.authKeys = make([]mac.Key, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		r.authKeys[i] = keyring.Pairwise(id, i)
+	}
 	r.proposeBatchFn = r.proposeBatch
 	r.reqTimerFn = r.onRequestTimerFired
 	r.slowTickFn = r.onSlowTick
@@ -293,11 +302,7 @@ func (r *Replica) replicaAddrs() []simnet.Addr {
 
 // authFor builds a replica-to-replica authenticator covering digest.
 func (r *Replica) authFor(digest uint64) mac.Authenticator {
-	keys := make([]mac.Key, r.cfg.N)
-	for i := 0; i < r.cfg.N; i++ {
-		keys[i] = r.keyring.Pairwise(r.id, i)
-	}
-	return mac.NewAuthenticator(keys, digest)
+	return mac.NewAuthenticator(r.authKeys, digest)
 }
 
 // verifyPeer checks our entry of a peer replica's authenticator.

@@ -1,0 +1,317 @@
+package pbft
+
+import (
+	"time"
+
+	"avd/internal/faultinject"
+	"avd/internal/sim"
+	"avd/internal/simnet"
+)
+
+// This file implements the SUT side of snapshot/fork execution
+// (DESIGN.md §8) for the PBFT deployment: replicas and clients capture
+// every mutable field they own and roll themselves back for each forked
+// test. Messages (requests, votes, replies, view changes) are immutable
+// once constructed, so captures share their pointers and only copy the
+// containers; sim.Timer handles survive restore because the engine
+// revalidates the arena generations they reference.
+
+// entryState is the deep copy of one log entry's agreement state.
+type entryState struct {
+	seq        uint64
+	view       uint64
+	digest     uint64
+	batch      []*Request
+	prePrepare *PrePrepare
+	badIdx     map[int]bool
+	prepares   map[int]uint64
+	commits    map[int]uint64
+	prepared   bool
+	committed  bool
+	executed   bool
+}
+
+// ReplicaState is a restorable capture of one replica.
+type ReplicaState struct {
+	crashed      bool
+	crashReason  string
+	view         uint64
+	inViewChange bool
+	pendingView  uint64
+
+	seqCounter uint64
+	lastExec   uint64
+	lowWater   uint64
+	log        []entryState
+
+	pending    []*Request
+	inFlight   map[RequestKey]bool
+	batchTimer sim.Timer
+	slowTimer  sim.Timer
+
+	lastReply map[simnet.Addr]*Reply
+
+	pendingForwarded map[RequestKey]forwarded
+	singleTimer      sim.Timer
+	reqTimers        map[RequestKey]sim.Timer
+
+	pendingBad map[RequestKey][]seqIdx
+
+	checkpoints map[uint64]map[int]uint64
+	stateDigest uint64
+
+	viewChanges  map[uint64]map[int]*ViewChange
+	newViewTimer sim.Timer
+	nvTimeout    time.Duration
+
+	stats ReplicaStats
+}
+
+// Snapshot captures the replica's complete mutable state. The replica's
+// ByzantineBehavior pointer is deployment-owned and not captured: the
+// harness re-arms (or zeroes) it per run.
+func (r *Replica) Snapshot() *ReplicaState {
+	s := &ReplicaState{
+		crashed:          r.crashed,
+		crashReason:      r.crashReason,
+		view:             r.view,
+		inViewChange:     r.inViewChange,
+		pendingView:      r.pendingView,
+		seqCounter:       r.seqCounter,
+		lastExec:         r.lastExec,
+		lowWater:         r.lowWater,
+		log:              make([]entryState, 0, len(r.log)),
+		pending:          append([]*Request(nil), r.pending...),
+		inFlight:         make(map[RequestKey]bool, len(r.inFlight)),
+		batchTimer:       r.batchTimer,
+		slowTimer:        r.slowTimer,
+		lastReply:        make(map[simnet.Addr]*Reply, len(r.lastReply)),
+		pendingForwarded: make(map[RequestKey]forwarded, len(r.pendingForwarded)),
+		singleTimer:      r.singleTimer,
+		reqTimers:        make(map[RequestKey]sim.Timer, len(r.reqTimers)),
+		pendingBad:       make(map[RequestKey][]seqIdx, len(r.pendingBad)),
+		checkpoints:      make(map[uint64]map[int]uint64, len(r.checkpoints)),
+		stateDigest:      r.stateDigest,
+		viewChanges:      make(map[uint64]map[int]*ViewChange, len(r.viewChanges)),
+		newViewTimer:     r.newViewTimer,
+		nvTimeout:        r.nvTimeout,
+		stats:            r.stats,
+	}
+	for seq, e := range r.log {
+		es := entryState{
+			seq:        seq,
+			view:       e.view,
+			digest:     e.digest,
+			batch:      e.batch,
+			prePrepare: e.prePrepare,
+			prepares:   copyIntMap(e.prepares),
+			commits:    copyIntMap(e.commits),
+			prepared:   e.prepared,
+			committed:  e.committed,
+			executed:   e.executed,
+		}
+		if len(e.badIdx) > 0 {
+			es.badIdx = make(map[int]bool, len(e.badIdx))
+			for k, v := range e.badIdx {
+				es.badIdx[k] = v
+			}
+		}
+		s.log = append(s.log, es)
+	}
+	for k, v := range r.inFlight {
+		s.inFlight[k] = v
+	}
+	for k, v := range r.lastReply {
+		s.lastReply[k] = v
+	}
+	for k, fw := range r.pendingForwarded {
+		s.pendingForwarded[k] = *fw
+	}
+	for k, v := range r.reqTimers {
+		s.reqTimers[k] = v
+	}
+	for k, v := range r.pendingBad {
+		s.pendingBad[k] = append([]seqIdx(nil), v...)
+	}
+	for seq, by := range r.checkpoints {
+		s.checkpoints[seq] = copyAddrDigestMap(by)
+	}
+	for view, by := range r.viewChanges {
+		cp := make(map[int]*ViewChange, len(by))
+		for k, v := range by {
+			cp[k] = v
+		}
+		s.viewChanges[view] = cp
+	}
+	return s
+}
+
+// Restore rolls the replica back to the captured state.
+func (r *Replica) Restore(s *ReplicaState) {
+	r.crashed = s.crashed
+	r.crashReason = s.crashReason
+	r.view = s.view
+	r.inViewChange = s.inViewChange
+	r.pendingView = s.pendingView
+	r.seqCounter = s.seqCounter
+	r.lastExec = s.lastExec
+	r.lowWater = s.lowWater
+	clear(r.log)
+	for _, es := range s.log {
+		e := &logEntry{
+			view:       es.view,
+			digest:     es.digest,
+			batch:      es.batch,
+			prePrepare: es.prePrepare,
+			prepares:   copyIntMap(es.prepares),
+			commits:    copyIntMap(es.commits),
+			prepared:   es.prepared,
+			committed:  es.committed,
+			executed:   es.executed,
+		}
+		if len(es.badIdx) > 0 {
+			e.badIdx = make(map[int]bool, len(es.badIdx))
+			for k, v := range es.badIdx {
+				e.badIdx[k] = v
+			}
+		}
+		r.log[es.seq] = e
+	}
+	r.pending = append(r.pending[:0], s.pending...)
+	clear(r.inFlight)
+	for k, v := range s.inFlight {
+		r.inFlight[k] = v
+	}
+	r.batchTimer = s.batchTimer
+	r.slowTimer = s.slowTimer
+	clear(r.lastReply)
+	for k, v := range s.lastReply {
+		r.lastReply[k] = v
+	}
+	clear(r.pendingForwarded)
+	for k, fw := range s.pendingForwarded {
+		cp := fw
+		r.pendingForwarded[k] = &cp
+	}
+	r.singleTimer = s.singleTimer
+	clear(r.reqTimers)
+	for k, v := range s.reqTimers {
+		r.reqTimers[k] = v
+	}
+	r.pendingBad = make(map[RequestKey][]seqIdx, len(s.pendingBad))
+	for k, v := range s.pendingBad {
+		r.pendingBad[k] = append([]seqIdx(nil), v...)
+	}
+	clear(r.checkpoints)
+	for seq, by := range s.checkpoints {
+		r.checkpoints[seq] = copyAddrDigestMap(by)
+	}
+	clear(r.viewChanges)
+	for view, by := range s.viewChanges {
+		cp := make(map[int]*ViewChange, len(by))
+		for k, v := range by {
+			cp[k] = v
+		}
+		r.viewChanges[view] = cp
+	}
+	r.newViewTimer = s.newViewTimer
+	r.nvTimeout = s.nvTimeout
+	r.stateDigest = s.stateDigest
+	r.stats = s.stats
+}
+
+func copyIntMap(m map[int]uint64) map[int]uint64 {
+	cp := make(map[int]uint64, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+func copyAddrDigestMap(m map[int]uint64) map[int]uint64 { return copyIntMap(m) }
+
+// ApplyByzantine (re-)activates the replica's ByzantineBehavior after
+// its fields were changed by the deployment harness: it fills in the
+// slow-proposal interval default and starts the pacing timer when the
+// replica is currently a slow primary. Snapshot/fork harnesses call this
+// at measurement start — on the cold path and the forked path alike — so
+// attacks arm identically in both.
+func (r *Replica) ApplyByzantine() {
+	if r.byz == nil {
+		return
+	}
+	if r.byz.SlowPrimary && r.byz.SlowInterval <= 0 {
+		r.byz.SlowInterval = r.cfg.ViewChangeTimeout * 9 / 10
+	}
+	if r.isSlowPrimary() {
+		r.armSlowTimer()
+	}
+}
+
+// ClientState is a restorable capture of one client.
+type ClientState struct {
+	running    bool
+	view       uint64
+	seq        uint64
+	curDone    bool
+	curDigest  uint64
+	sentAt     sim.Time
+	replies    map[int]uint64
+	retryTimer sim.Timer
+	curRetry   time.Duration
+	retryFor   uint64
+	broadcast  bool
+	counters   map[string]uint64
+	stats      ClientStats
+}
+
+// Snapshot captures the client's complete mutable state, including its
+// fault injector's call counters (the injection plan itself is armed per
+// run by the harness and not captured).
+func (c *Client) Snapshot() *ClientState {
+	s := &ClientState{
+		running:    c.running,
+		view:       c.view,
+		seq:        c.seq,
+		curDone:    c.curDone,
+		curDigest:  c.curDigest,
+		sentAt:     c.sentAt,
+		replies:    copyIntMap(c.replies),
+		retryTimer: c.retryTimer,
+		curRetry:   c.curRetry,
+		retryFor:   c.retryFor,
+		broadcast:  c.ccfg.Broadcast,
+		counters:   c.inj.CounterSnapshot(),
+		stats:      c.stats,
+	}
+	return s
+}
+
+// Restore rolls the client back to the captured state.
+func (c *Client) Restore(s *ClientState) {
+	c.running = s.running
+	c.view = s.view
+	c.seq = s.seq
+	c.curDone = s.curDone
+	c.curDigest = s.curDigest
+	c.sentAt = s.sentAt
+	clear(c.replies)
+	for k, v := range s.replies {
+		c.replies[k] = v
+	}
+	c.retryTimer = s.retryTimer
+	c.curRetry = s.curRetry
+	c.retryFor = s.retryFor
+	c.ccfg.Broadcast = s.broadcast
+	c.inj.RestoreCounters(s.counters)
+	c.stats = s.stats
+}
+
+// SetPlan arms a fault-injection plan on the client's injector, keeping
+// the call counters that have been advancing since deployment boot.
+func (c *Client) SetPlan(plan faultinject.Plan) { c.inj.SetPlan(plan) }
+
+// SetBroadcast toggles first-transmission broadcast (the colluding
+// client of the slow-primary attack); harnesses arm it per run at
+// measurement start.
+func (c *Client) SetBroadcast(on bool) { c.ccfg.Broadcast = on }

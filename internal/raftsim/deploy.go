@@ -1,0 +1,201 @@
+package raftsim
+
+import (
+	"fmt"
+	"time"
+
+	"avd/internal/core"
+	"avd/internal/metrics"
+	"avd/internal/oracle"
+	"avd/internal/scenario"
+	"avd/internal/sim"
+	"avd/internal/simnet"
+)
+
+// deployment is one instantiated Raft cluster bound to its own engine.
+// Construction is fault-neutral — the leader-flap attacker arms at
+// measurement start — so one warm deployment serves both scenario runs
+// and the attack-free baseline for its client count (DESIGN.md §8).
+// A deployment runs one test at a time; the Runner's master cache hands
+// each worker its own.
+type deployment struct {
+	w       Workload
+	eng     *sim.Engine
+	net     *simnet.Network
+	oracles *oracle.Set
+	nodes   []*Node
+	cs      []*Client
+
+	measuring bool
+	completed uint64
+	latSum    time.Duration
+	latN      uint64
+	latTail   []time.Duration
+
+	snap *deploymentSnapshot
+}
+
+// deploymentSnapshot pairs the engine/network captures with every
+// node's and client's own state capture.
+type deploymentSnapshot struct {
+	eng     *sim.Snapshot
+	net     *simnet.NetSnapshot
+	oracles []any
+	nodes   []*NodeState
+	clients []*ClientState
+}
+
+// newDeployment builds and starts a fault-neutral Raft deployment. The
+// caller runs the warmup.
+func (r *Runner) newDeployment(clients int64) *deployment {
+	w := r.w
+	d := &deployment{
+		w:   w,
+		eng: sim.New(w.Seed),
+		oracles: oracle.NewSet(
+			oracle.NewElectionSafety("raft"),
+			oracle.NewAgreement("raft"),
+		),
+	}
+	d.net = simnet.New(d.eng, w.Net)
+
+	d.nodes = make([]*Node, 0, w.Raft.N)
+	for i := 0; i < w.Raft.N; i++ {
+		id := i
+		n, err := NewNode(i, w.Raft, d.net,
+			WithLeadObserver(func(term uint64) {
+				d.oracles.Observe(oracle.Event{Kind: oracle.EventLeader, Node: id, Term: term})
+			}),
+			WithApplyObserver(func(index uint64, e Entry) {
+				d.oracles.Observe(oracle.Event{Kind: oracle.EventCommit, Node: id, Seq: index, Term: e.Term, Digest: EntryDigest(e)})
+			}))
+		if err != nil {
+			panic(fmt.Sprintf("raftsim: node construction: %v", err)) // config was validated
+		}
+		d.nodes = append(d.nodes, n)
+	}
+
+	onComplete := d.onComplete
+	d.cs = make([]*Client, 0, clients)
+	nextAddr := simnet.Addr(w.Raft.N)
+	for i := int64(0); i < clients; i++ {
+		c, err := NewClient(nextAddr, w.Raft, w.Client, d.net, WithOnComplete(onComplete))
+		if err != nil {
+			panic(fmt.Sprintf("raftsim: client construction: %v", err))
+		}
+		nextAddr++
+		d.cs = append(d.cs, c)
+	}
+
+	for _, n := range d.nodes {
+		n.Start()
+	}
+	for _, c := range d.cs {
+		c.Start()
+	}
+	return d
+}
+
+// onComplete observes one client completion.
+func (d *deployment) onComplete(seq uint64, latency time.Duration) {
+	if !d.measuring {
+		return
+	}
+	d.completed++
+	d.latSum += latency
+	d.latN++
+	d.latTail = append(d.latTail, latency)
+}
+
+// capture takes the post-warmup snapshot forks restore from.
+func (d *deployment) capture() {
+	s := &deploymentSnapshot{
+		eng:     d.eng.Snapshot(),
+		net:     d.net.Snapshot(),
+		oracles: d.oracles.Snapshot(),
+	}
+	for _, n := range d.nodes {
+		s.nodes = append(s.nodes, n.Snapshot())
+	}
+	for _, c := range d.cs {
+		s.clients = append(s.clients, c.Snapshot())
+	}
+	d.snap = s
+}
+
+// restore rolls the whole deployment back to the post-warmup snapshot.
+func (d *deployment) restore() {
+	s := d.snap
+	d.eng.Restore(s.eng)
+	d.net.Restore(s.net)
+	d.oracles.Restore(s.oracles)
+	for i, n := range d.nodes {
+		n.Restore(s.nodes[i])
+	}
+	for i, c := range d.cs {
+		c.Restore(s.clients[i])
+	}
+	d.measuring = false
+	d.completed = 0
+	d.latSum, d.latN = 0, 0
+}
+
+// arm activates the scenario's attacker and per-run checkers at
+// measurement start (cold path and forked path alike).
+func (d *deployment) arm(sc scenario.Scenario, withFaults bool, extra ...oracle.Checker) {
+	d.oracles.Attach(extra...)
+	if !withFaults {
+		return
+	}
+	flapInterval := time.Duration(sc.GetOr(DimFlapIntervalMS, 0)) * time.Millisecond
+	flapDown := time.Duration(sc.GetOr(DimFlapDownMS, 0)) * time.Millisecond
+	if flapInterval > 0 && flapDown > 0 {
+		attacker := &leaderFlap{eng: d.eng, net: d.net, nodes: d.nodes, interval: flapInterval, down: flapDown}
+		attacker.start()
+	}
+}
+
+// measure runs the measurement window and collects the scenario outcome.
+func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
+	d.latTail = d.latTail[:0]
+
+	d.measuring = true
+	leaderBefore := currentLeader(d.nodes)
+	d.eng.RunFor(d.w.Measure)
+	d.measuring = false
+	leaderAfter := currentLeader(d.nodes)
+
+	// Censored latency for requests still stuck at window end.
+	end := d.eng.Now()
+	for _, c := range d.cs {
+		if sentAt, ok := c.Outstanding(); ok {
+			if waited := end.Sub(sentAt); waited > 0 {
+				d.latSum += waited
+				d.latN++
+				d.latTail = append(d.latTail, waited)
+			}
+		}
+	}
+
+	res := core.Result{Scenario: sc}
+	res.Throughput = float64(d.completed) / d.w.Measure.Seconds()
+	if d.latN > 0 {
+		res.AvgLatency = d.latSum / time.Duration(d.latN)
+	}
+	rep := Report{Completed: d.completed, LeaderChanged: leaderBefore != leaderAfter}
+	for _, n := range d.nodes {
+		st := n.Stats()
+		rep.ElectionsStarted += st.ElectionsStarted
+		rep.Redirects += st.Redirects
+		if st.TermsSeen > rep.MaxTerm {
+			rep.MaxTerm = st.TermsSeen
+		}
+	}
+	for _, c := range d.cs {
+		rep.Retransmissions += c.Stats().Retransmissions
+	}
+	res.ViewChanges = rep.ElectionsStarted // terms are Raft's "views"
+	rep.P99Latency = metrics.PercentileInPlace(d.latTail, 99)
+	res.Violations = d.oracles.Finish()
+	return res, rep
+}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"avd/internal/core"
-	"avd/internal/metrics"
 	"avd/internal/oracle"
 	"avd/internal/scenario"
 	"avd/internal/sim"
@@ -73,6 +72,13 @@ type Report struct {
 type Runner struct {
 	w         Workload
 	baselines core.BaselineCache
+
+	// masters caches warm deployments per client count for the
+	// snapshot/fork execution path (see cluster.Runner.masters): the
+	// leader-flap attacker is purely network-level and arms at
+	// measurement start, so scenario runs and baselines fork from the
+	// same per-count master.
+	masters core.ForkCache[int64, *deployment]
 }
 
 // NewRunner returns a runner for the workload.
@@ -91,16 +97,30 @@ func (r *Runner) Workload() Workload { return r.w }
 
 var _ core.Runner = (*Runner)(nil)
 
-// Run implements core.Runner.
+// Run implements core.Runner: a cold run, building and warming a fresh
+// deployment. It is the reference semantics that the forked path must
+// reproduce bit-for-bit.
 func (r *Runner) Run(sc scenario.Scenario) core.Result {
 	res, _ := r.RunReport(sc)
 	return res
 }
 
-// RunReport executes the scenario and returns both the impact result and
-// the detailed report.
+// RunFork implements core.Snapshotter: execute the scenario by forking a
+// warm master deployment for the scenario's client count.
+func (r *Runner) RunFork(sc scenario.Scenario) core.Result {
+	res, _ := r.RunForkReport(sc)
+	return res
+}
+
+// RunReport executes the scenario cold and returns both the impact
+// result and the detailed report.
 func (r *Runner) RunReport(sc scenario.Scenario) (core.Result, Report) {
-	return r.runScored(sc, nil)
+	return r.runScored(sc, false, nil)
+}
+
+// RunForkReport is RunReport through the snapshot/fork path.
+func (r *Runner) RunForkReport(sc scenario.Scenario) (core.Result, Report) {
+	return r.runScored(sc, true, nil)
 }
 
 // RunTraced executes the scenario with a trace recorder attached and
@@ -110,19 +130,35 @@ func (r *Runner) RunReport(sc scenario.Scenario) (core.Result, Report) {
 // fixture.
 func (r *Runner) RunTraced(sc scenario.Scenario) (core.Result, Report, []oracle.Event) {
 	rec := oracle.NewRecorder()
-	res, rep := r.runScored(sc, rec)
+	res, rep := r.runScored(sc, false, rec)
+	return res, rep, rec.Events()
+}
+
+// RunTracedFork is RunTraced through the snapshot/fork path; the
+// determinism tests compare its stream against RunTraced's.
+func (r *Runner) RunTracedFork(sc scenario.Scenario) (core.Result, Report, []oracle.Event) {
+	rec := oracle.NewRecorder()
+	res, rep := r.runScored(sc, true, rec)
 	return res, rep, rec.Events()
 }
 
 // runScored executes the scenario with faults and computes the impact
 // score against the cached baseline.
-func (r *Runner) runScored(sc scenario.Scenario, rec *oracle.Recorder) (core.Result, Report) {
+func (r *Runner) runScored(sc scenario.Scenario, fork bool, rec *oracle.Recorder) (core.Result, Report) {
 	clients := sc.GetOr(DimClients, 10)
 	var extra []oracle.Checker
 	if rec != nil {
 		extra = append(extra, rec)
 	}
-	res, rep := r.execute(sc, clients, true, extra...)
+	var (
+		res core.Result
+		rep Report
+	)
+	if fork {
+		res, rep = r.executeFork(sc, clients, true, extra...)
+	} else {
+		res, rep = r.execute(sc, clients, true, extra...)
+	}
 	baseline := r.Baseline(clients)
 	res.BaselineThroughput = baseline
 	if baseline > 0 {
@@ -156,7 +192,9 @@ func (r *Runner) measureBaseline(clients int64) float64 {
 	empty := scenario.MustNewSpace(scenario.Dimension{
 		Name: DimClients, Min: clients, Max: clients, Step: 1,
 	}).New(nil)
-	res, _ := r.execute(empty, clients, false)
+	// Baselines fork from the same per-count master as scenario runs:
+	// an attack-free run is simply a fork with no attacker armed.
+	res, _ := r.executeFork(empty, clients, false)
 	return res.Throughput
 }
 
@@ -226,119 +264,36 @@ func (a *leaderFlap) heal() {
 	a.isolated = -1
 }
 
-// execute builds and runs one deployment. withFaults=false strips the
-// attacker (baseline measurement). The Raft protocol oracles — election
-// safety, log-matching agreement over applied entries, committed-entry
-// durability — always observe the run; extra checkers (e.g. a trace
-// Recorder) join them.
+// execute builds, warms and runs one cold deployment. withFaults=false
+// strips the attacker (baseline measurement). The Raft protocol oracles —
+// election safety, log-matching agreement over applied entries,
+// committed-entry durability — always observe the run; extra checkers
+// (e.g. a trace Recorder) join for the measurement window. The attacker
+// arms at measurement start, identically to the forked path, so a cold
+// run is the forked run's reference semantics.
 func (r *Runner) execute(sc scenario.Scenario, clients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
-	w := r.w
-	eng := sim.New(w.Seed)
-	net := simnet.New(eng, w.Net)
+	d := r.newDeployment(clients)
+	d.eng.RunFor(r.w.Warmup)
+	d.arm(sc, withFaults, extra...)
+	return d.measure(sc)
+}
 
-	oracles := oracle.NewSet(append([]oracle.Checker{
-		oracle.NewElectionSafety("raft"),
-		oracle.NewAgreement("raft"),
-	}, extra...)...)
-
-	nodes := make([]*Node, 0, w.Raft.N)
-	for i := 0; i < w.Raft.N; i++ {
-		id := i
-		n, err := NewNode(i, w.Raft, net,
-			WithLeadObserver(func(term uint64) {
-				oracles.Observe(oracle.Event{Kind: oracle.EventLeader, Node: id, Term: term})
-			}),
-			WithApplyObserver(func(index uint64, e Entry) {
-				oracles.Observe(oracle.Event{Kind: oracle.EventCommit, Node: id, Seq: index, Term: e.Term, Digest: EntryDigest(e)})
-			}))
-		if err != nil {
-			panic(fmt.Sprintf("raftsim: node construction: %v", err)) // config was validated
-		}
-		nodes = append(nodes, n)
+// executeFork runs the scenario by forking a warm master deployment for
+// the client count.
+func (r *Runner) executeFork(sc scenario.Scenario, clients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
+	d := r.masters.Acquire(clients, func() *deployment {
+		d := r.newDeployment(clients)
+		d.eng.RunFor(r.w.Warmup)
+		return d
+	})
+	defer r.masters.Release(clients, d)
+	if d.snap == nil {
+		d.capture()
+	} else {
+		d.restore()
 	}
-
-	measuring := false
-	var completed uint64
-	var lat struct {
-		sum  time.Duration
-		n    uint64
-		tail []time.Duration
-	}
-	onComplete := func(seq uint64, latency time.Duration) {
-		if !measuring {
-			return
-		}
-		completed++
-		lat.sum += latency
-		lat.n++
-		lat.tail = append(lat.tail, latency)
-	}
-
-	cs := make([]*Client, 0, clients)
-	nextAddr := simnet.Addr(w.Raft.N)
-	for i := int64(0); i < clients; i++ {
-		c, err := NewClient(nextAddr, w.Raft, w.Client, net, WithOnComplete(onComplete))
-		if err != nil {
-			panic(fmt.Sprintf("raftsim: client construction: %v", err))
-		}
-		nextAddr++
-		cs = append(cs, c)
-	}
-
-	flapInterval := time.Duration(sc.GetOr(DimFlapIntervalMS, 0)) * time.Millisecond
-	flapDown := time.Duration(sc.GetOr(DimFlapDownMS, 0)) * time.Millisecond
-	if withFaults && flapInterval > 0 && flapDown > 0 {
-		attacker := &leaderFlap{eng: eng, net: net, nodes: nodes, interval: flapInterval, down: flapDown}
-		attacker.start()
-	}
-
-	for _, n := range nodes {
-		n.Start()
-	}
-	for _, c := range cs {
-		c.Start()
-	}
-
-	eng.RunFor(w.Warmup)
-	measuring = true
-	leaderBefore := currentLeader(nodes)
-	eng.RunFor(w.Measure)
-	measuring = false
-	leaderAfter := currentLeader(nodes)
-
-	// Censored latency for requests still stuck at window end.
-	end := eng.Now()
-	for _, c := range cs {
-		if sentAt, ok := c.Outstanding(); ok {
-			if waited := end.Sub(sentAt); waited > 0 {
-				lat.sum += waited
-				lat.n++
-				lat.tail = append(lat.tail, waited)
-			}
-		}
-	}
-
-	res := core.Result{Scenario: sc}
-	res.Throughput = float64(completed) / w.Measure.Seconds()
-	if lat.n > 0 {
-		res.AvgLatency = lat.sum / time.Duration(lat.n)
-	}
-	rep := Report{Completed: completed, LeaderChanged: leaderBefore != leaderAfter}
-	for _, n := range nodes {
-		st := n.Stats()
-		rep.ElectionsStarted += st.ElectionsStarted
-		rep.Redirects += st.Redirects
-		if st.TermsSeen > rep.MaxTerm {
-			rep.MaxTerm = st.TermsSeen
-		}
-	}
-	for _, c := range cs {
-		rep.Retransmissions += c.Stats().Retransmissions
-	}
-	res.ViewChanges = rep.ElectionsStarted // terms are Raft's "views"
-	rep.P99Latency = metrics.PercentileInPlace(lat.tail, 99)
-	res.Violations = oracles.Finish()
-	return res, rep
+	d.arm(sc, withFaults, extra...)
+	return d.measure(sc)
 }
 
 // EntryDigest is the committed-value identity the oracles compare across

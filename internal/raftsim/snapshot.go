@@ -1,0 +1,134 @@
+package raftsim
+
+import (
+	"time"
+
+	"avd/internal/sim"
+	"avd/internal/simnet"
+)
+
+// This file implements the SUT side of snapshot/fork execution
+// (DESIGN.md §8): a Node or Client captures every mutable field it owns —
+// protocol state, counters, and its sim.Timer handles — and can roll
+// itself back to that capture. Timer handles survive because the engine's
+// own Restore revalidates the arena generations they reference; the
+// pending timer events themselves live in the engine snapshot.
+
+// NodeState is a restorable capture of one Raft node.
+type NodeState struct {
+	role       role
+	term       uint64
+	votedFor   int
+	leader     int
+	log        []Entry
+	commit     uint64
+	applied    uint64
+	votes      map[int]bool
+	nextIndex  []uint64
+	matchIndex []uint64
+
+	electionTimer  sim.Timer
+	heartbeatTimer sim.Timer
+
+	lastSeq map[simnet.Addr]uint64
+	pending map[simnet.Addr]uint64
+
+	stats NodeStats
+}
+
+// Snapshot captures the node's complete mutable state.
+func (n *Node) Snapshot() *NodeState {
+	s := &NodeState{
+		role:           n.role,
+		term:           n.term,
+		votedFor:       n.votedFor,
+		leader:         n.leader,
+		log:            append([]Entry(nil), n.log...),
+		commit:         n.commit,
+		applied:        n.applied,
+		votes:          make(map[int]bool, len(n.votes)),
+		nextIndex:      append([]uint64(nil), n.nextIndex...),
+		matchIndex:     append([]uint64(nil), n.matchIndex...),
+		electionTimer:  n.electionTimer,
+		heartbeatTimer: n.heartbeatTimer,
+		lastSeq:        make(map[simnet.Addr]uint64, len(n.lastSeq)),
+		pending:        make(map[simnet.Addr]uint64, len(n.pending)),
+		stats:          n.stats,
+	}
+	for k, v := range n.votes {
+		s.votes[k] = v
+	}
+	for k, v := range n.lastSeq {
+		s.lastSeq[k] = v
+	}
+	for k, v := range n.pending {
+		s.pending[k] = v
+	}
+	return s
+}
+
+// Restore rolls the node back to the captured state.
+func (n *Node) Restore(s *NodeState) {
+	n.role = s.role
+	n.term = s.term
+	n.votedFor = s.votedFor
+	n.leader = s.leader
+	n.log = append(n.log[:0], s.log...)
+	n.commit = s.commit
+	n.applied = s.applied
+	clear(n.votes)
+	for k, v := range s.votes {
+		n.votes[k] = v
+	}
+	n.nextIndex = append(n.nextIndex[:0], s.nextIndex...)
+	n.matchIndex = append(n.matchIndex[:0], s.matchIndex...)
+	n.electionTimer = s.electionTimer
+	n.heartbeatTimer = s.heartbeatTimer
+	clear(n.lastSeq)
+	for k, v := range s.lastSeq {
+		n.lastSeq[k] = v
+	}
+	clear(n.pending)
+	for k, v := range s.pending {
+		n.pending[k] = v
+	}
+	n.stats = s.stats
+}
+
+// ClientState is a restorable capture of one Raft client.
+type ClientState struct {
+	running  bool
+	seq      uint64
+	target   int
+	sentAt   sim.Time
+	curRetry time.Duration
+	retryFor uint64
+	retry    sim.Timer
+	stats    ClientStats
+}
+
+// Snapshot captures the client's complete mutable state.
+func (c *Client) Snapshot() *ClientState {
+	return &ClientState{
+		running:  c.running,
+		seq:      c.seq,
+		target:   c.target,
+		sentAt:   c.sentAt,
+		curRetry: c.curRetry,
+		retryFor: c.retryFor,
+		retry:    c.retry,
+		stats:    c.stats,
+	}
+}
+
+// Restore rolls the client back to the captured state.
+func (c *Client) Restore(s *ClientState) {
+	c.running = s.running
+	c.seq = s.seq
+	c.target = s.target
+	c.sentAt = s.sentAt
+	c.curRetry = s.curRetry
+	c.retryFor = s.retryFor
+	c.retry = s.retry
+	c.stats = s.stats
+}

@@ -9,6 +9,13 @@
 // Virtual time is decoupled from wall-clock time, so a multi-second PBFT
 // run with hundreds of clients completes in milliseconds. This is the
 // stand-in for the paper's Emulab testbed (see DESIGN.md §2).
+//
+// Events live in a flat arena indexed by small integers and the priority
+// queue holds pointer-free value nodes, so the sift operations of a busy
+// simulation never touch the garbage collector's write barrier (the heap
+// was the single hottest site of a full-throughput deployment before this
+// layout). The arena is also what makes Snapshot/Restore cheap: capturing
+// the entire engine state is three slice copies (DESIGN.md §8).
 package sim
 
 import (
@@ -44,67 +51,183 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // are created by Engine.Schedule and Engine.At.
 //
 // Timers are values, not pointers: scheduling allocates nothing for the
-// handle, and the underlying event object is recycled through the
-// engine's free list after it fires or its cancellation is collected. A
-// generation counter makes stale handles inert — a Timer kept after its
-// event fired can never affect a later event that reuses the same slot.
+// handle, and the underlying arena slot is recycled through the engine's
+// free list after it fires or its cancellation is collected. A generation
+// counter makes stale handles inert — a Timer kept after its event fired
+// (or after the engine was restored to a snapshot that predates it) can
+// never affect a later event that reuses the same slot.
 type Timer struct {
-	ev  *event
+	eng *Engine
+	idx int32
 	gen uint64
 }
 
-// Stop cancels the timer. It reports whether the call prevented the
-// callback from firing (false if it already fired or was already stopped).
+// ev resolves the timer's arena slot, nil when the handle is stale.
+func (t Timer) ev() *event {
+	if t.eng == nil || int(t.idx) >= len(t.eng.arena) {
+		return nil
+	}
+	ev := &t.eng.arena[t.idx]
+	if ev.gen != t.gen {
+		return nil
+	}
+	return ev
+}
+
+// Stop cancels the timer. Heap-resident events are removed from the
+// queue immediately (retransmission-heavy workloads cancel and re-arm a
+// timer per request, and tombstones were measurably inflating the
+// queue); lane-resident events are canceled in place and collected when
+// their FIFO drains past them, which is at most one lane period away. It
+// reports whether the call prevented the callback from firing (false if
+// it already fired or was already stopped).
 func (t Timer) Stop() bool {
-	if t.ev == nil || t.ev.gen != t.gen || t.ev.canceled {
+	ev := t.ev()
+	if ev == nil || ev.canceled {
 		return false
 	}
-	t.ev.canceled = true
+	t.eng.live--
+	if ev.pos == laneResident {
+		ev.canceled = true
+		return true
+	}
+	t.eng.remove(t.idx)
 	return true
 }
 
 // Active reports whether the timer is still pending.
 func (t Timer) Active() bool {
-	return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled
+	ev := t.ev()
+	return ev != nil && !ev.canceled
 }
 
 // When returns the virtual time at which the timer fires (meaningless
 // once the timer is no longer Active).
 func (t Timer) When() Time {
-	if t.ev == nil {
+	ev := t.ev()
+	if ev == nil {
 		return 0
 	}
-	return t.ev.at
+	return ev.at
 }
 
+// event is one arena slot. fn/call/arg are cleared on recycle so the
+// arena never pins dead callbacks.
 type event struct {
-	at       Time
-	seq      uint64
-	gen      uint64 // bumped on recycle; validates Timer handles
+	at  Time
+	gen uint64 // bumped on recycle; validates Timer handles
+	// pos is the event's index in the heap, or laneResident for events
+	// queued in a FIFO lane (lane members are canceled in place and
+	// collected when their lane drains past them).
+	pos      int32
+	canceled bool
 	fn       func()
 	call     func(any) // with arg: the closure-free variant (ScheduleCall)
 	arg      any
-	canceled bool
 }
+
+// laneResident marks an event queued in a FIFO lane instead of the heap.
+const laneResident int32 = -1
+
+// node is one priority-queue entry: pointer-free by design, so heap
+// sifts compile to plain word moves with no write barriers.
+type node struct {
+	at  Time
+	seq uint64
+	idx int32
+}
+
+// less orders nodes by (time, insertion sequence).
+func less(a, b node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// ArgCloner is implemented by ScheduleCall arguments whose backing
+// objects are pooled or mutated after delivery (e.g. simnet's recycled
+// message envelopes). Engine.Snapshot stores a detached clone of such
+// arguments and Engine.Restore re-clones it per restore, so every fork
+// delivers a fresh object while runs that never snapshot pay nothing.
+type ArgCloner interface {
+	// CloneSimArg returns a detached copy safe to deliver after the
+	// original has been recycled.
+	CloneSimArg() any
+}
+
+// lane is a FIFO fast path for one recurring scheduling delay. Nearly
+// all events of a busy deployment are scheduled at now+d for a handful
+// of fixed d values (link latency, retransmission timeouts, heartbeat
+// periods); because now is monotone, each such stream arrives already
+// sorted, and a plain queue replaces O(log n) heap sifts with O(1)
+// appends. Order stays exact: the dispatcher takes the global
+// (at, seq)-minimum across every lane head and the heap root.
+type lane struct {
+	delay  Time // the scheduling delta this lane carries
+	buf    []node
+	head   int
+	lastAt Time // at of the newest member; appends must not precede it
+}
+
+// Lane tuning: more lanes cost every dispatch a comparison, so only
+// delays hot enough to matter get one.
+const (
+	maxLanes     = 8
+	lanePromote  = 64   // schedules of one delay before it earns a lane
+	maxDelayHits = 1024 // promotion-counter map size bound
+)
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use:
 // all interaction must happen from the goroutine driving Run/Step, which is
 // also the goroutine on which event callbacks execute.
 type Engine struct {
-	now     Time
-	events  []*event // binary min-heap by (at, seq)
-	free    []*event // recycled event objects
-	seq     uint64
-	rng     *rand.Rand
-	stopped bool
+	now       Time
+	heap      []node  // 4-ary min-heap by (at, seq), for irregular delays
+	lanes     []*lane // FIFO fast paths for recurring delays
+	laneFor   map[Time]*lane
+	delayHits map[Time]uint32 // lane-promotion counters
+	arena     []event         // slot storage; queue nodes and Timers index into it
+	free      []int32         // recycled arena slots
+	live      int             // pending events (canceled lane members excluded)
+	seq       uint64
+	seed      int64
+	src       *trackedSource
+	rng       *rand.Rand
+	stopped   bool
 
 	// Executed counts events that have fired, for diagnostics and tests.
 	executed uint64
 }
 
+// trackedSource wraps the standard library source, counting state
+// advances so a Snapshot can record the stream position and Restore can
+// re-derive the exact mid-stream state by re-seeding and fast-forwarding.
+// The emitted sequence is bit-identical to rand.NewSource's.
+type trackedSource struct {
+	src   rand.Source64
+	steps uint64
+}
+
+func (t *trackedSource) Int63() int64 { t.steps++; return t.src.Int63() }
+
+// Uint64 advances the underlying generator by one step, exactly like
+// Int63 (the stdlib source exposes the same state word both ways), so
+// replaying a stream position with Int63 taps reproduces it.
+func (t *trackedSource) Uint64() uint64 { t.steps++; return t.src.Uint64() }
+
+func (t *trackedSource) Seed(seed int64) { t.steps = 0; t.src.Seed(seed) }
+
 // New returns an engine whose randomness derives entirely from seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	src := &trackedSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Engine{
+		seed:      seed,
+		src:       src,
+		rng:       rand.New(src),
+		laneFor:   make(map[Time]*lane),
+		delayHits: make(map[Time]uint32),
+	}
 }
 
 // Now returns the current virtual time.
@@ -117,9 +240,8 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Executed returns the number of events that have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events still queued (including canceled
-// events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule runs fn after virtual duration d and returns a cancelable timer.
 // A non-positive d schedules fn at the current time, after events already
@@ -150,58 +272,156 @@ func (e *Engine) schedule(t Time, fn func(), call func(any), arg any) Timer {
 	if t < e.now {
 		t = e.now
 	}
-	var ev *event
+	var idx int32
 	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
+		idx = e.free[n-1]
 		e.free = e.free[:n-1]
 	} else {
-		ev = &event{}
+		e.arena = append(e.arena, event{})
+		idx = int32(len(e.arena) - 1)
 	}
-	ev.at, ev.seq, ev.canceled = t, e.seq, false
+	ev := &e.arena[idx]
+	ev.at, ev.canceled = t, false
 	ev.fn, ev.call, ev.arg = fn, call, arg
+	nd := node{at: t, seq: e.seq, idx: idx}
 	e.seq++
-	e.push(ev)
-	return Timer{ev: ev, gen: ev.gen}
+	e.live++
+	delta := t - e.now
+	if ln := e.laneFor[delta]; ln != nil && (ln.head == len(ln.buf) || t >= ln.lastAt) {
+		ln.buf = append(ln.buf, nd)
+		ln.lastAt = t
+		ev.pos = laneResident
+	} else if ln == nil && e.promote(delta, t) != nil {
+		ln := e.laneFor[delta]
+		ln.buf = append(ln.buf, nd)
+		ln.lastAt = t
+		ev.pos = laneResident
+	} else {
+		e.push(nd)
+	}
+	return Timer{eng: e, idx: idx, gen: ev.gen}
 }
 
-// recycle returns a popped event to the free list, invalidating every
+// promote creates a lane for delta once it has proven hot, returning nil
+// while the delay is still cold or the lane budget is spent.
+func (e *Engine) promote(delta Time, t Time) *lane {
+	if len(e.lanes) >= maxLanes || delta < 0 {
+		return nil
+	}
+	hits := e.delayHits[delta] + 1
+	if hits < lanePromote {
+		if len(e.delayHits) >= maxDelayHits {
+			// One-shot delays (randomized timeouts) would grow the
+			// counter map forever; dropping the counters only delays
+			// promotion, it never changes behavior.
+			clear(e.delayHits)
+		}
+		e.delayHits[delta] = hits
+		return nil
+	}
+	delete(e.delayHits, delta)
+	ln := &lane{delay: delta, lastAt: t}
+	e.lanes = append(e.lanes, ln)
+	e.laneFor[delta] = ln
+	return ln
+}
+
+// recycle returns an arena slot to the free list, invalidating every
 // Timer handle that still points at it.
-func (e *Engine) recycle(ev *event) {
+func (e *Engine) recycle(idx int32) {
+	ev := &e.arena[idx]
 	ev.gen++
 	ev.fn, ev.call, ev.arg = nil, nil, nil
-	e.free = append(e.free, ev)
+	e.free = append(e.free, idx)
+}
+
+// minPending locates the (at, seq)-minimum pending event across the
+// heap root and every lane head, pruning canceled lane members it
+// passes. src is the lane index, or -1 for the heap.
+func (e *Engine) minPending() (nd node, src int, ok bool) {
+	src = -1
+	if len(e.heap) > 0 {
+		nd, ok = e.heap[0], true
+	}
+	for i, ln := range e.lanes {
+		for ln.head < len(ln.buf) {
+			cand := ln.buf[ln.head]
+			if !e.arena[cand.idx].canceled {
+				if !ok || less(cand, nd) {
+					nd, src, ok = cand, i, true
+				}
+				break
+			}
+			e.recycle(cand.idx)
+			ln.advance()
+		}
+	}
+	return nd, src, ok
+}
+
+// take removes the previously located minimum from its queue.
+func (e *Engine) take(src int) {
+	if src < 0 {
+		e.pop()
+		return
+	}
+	e.lanes[src].advance()
+}
+
+// advance consumes the lane head, compacting the drained prefix so the
+// buffer stays bounded under continuous traffic.
+func (ln *lane) advance() {
+	ln.head++
+	if ln.head == len(ln.buf) {
+		ln.head = 0
+		ln.buf = ln.buf[:0]
+		return
+	}
+	if ln.head >= 1024 && ln.head*2 >= len(ln.buf) {
+		n := copy(ln.buf, ln.buf[ln.head:])
+		ln.buf = ln.buf[:n]
+		ln.head = 0
+	}
+}
+
+// fire dispatches one located event.
+func (e *Engine) fire(nd node, src int) {
+	e.take(src)
+	ev := &e.arena[nd.idx]
+	e.now = nd.at
+	e.executed++
+	e.live--
+	fn, call, arg := ev.fn, ev.call, ev.arg
+	e.recycle(nd.idx)
+	if call != nil {
+		call(arg)
+	} else {
+		fn()
+	}
 }
 
 // Step fires the next event. It reports false when the queue is empty or
 // the engine was stopped.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		if e.stopped {
-			return false
-		}
-		ev := e.pop()
-		if ev.canceled {
-			e.recycle(ev)
-			continue
-		}
-		e.now = ev.at
-		e.executed++
-		fn, call, arg := ev.fn, ev.call, ev.arg
-		e.recycle(ev)
-		if call != nil {
-			call(arg)
-		} else {
-			fn()
-		}
-		return true
+	if e.stopped {
+		return false
 	}
-	return false
+	nd, src, ok := e.minPending()
+	if !ok {
+		return false
+	}
+	e.fire(nd, src)
+	return true
 }
 
 // Run fires events until the queue drains or Stop is called.
 func (e *Engine) Run() {
-	for e.Step() {
+	for !e.stopped {
+		nd, src, ok := e.minPending()
+		if !ok {
+			return
+		}
+		e.fire(nd, src)
 	}
 }
 
@@ -209,17 +429,11 @@ func (e *Engine) Run() {
 // clock to t. Events scheduled for later remain queued.
 func (e *Engine) RunUntil(t Time) {
 	for !e.stopped {
-		if len(e.events) == 0 {
+		nd, src, ok := e.minPending()
+		if !ok || nd.at > t {
 			break
 		}
-		next := e.peek()
-		if next == nil {
-			break
-		}
-		if next.at > t {
-			break
-		}
-		e.Step()
+		e.fire(nd, src)
 	}
 	if e.now < t {
 		e.now = t
@@ -236,67 +450,223 @@ func (e *Engine) Stop() { e.stopped = true }
 // Resume clears the stopped flag set by Stop.
 func (e *Engine) Resume() { e.stopped = false }
 
-// peek returns the next non-canceled event without firing it, collecting
-// canceled events it encounters into the free list.
-func (e *Engine) peek() *event {
-	for len(e.events) > 0 {
-		ev := e.events[0]
-		if !ev.canceled {
-			return ev
-		}
-		e.recycle(e.pop())
-	}
-	return nil
+// The queue is a 4-ary min-heap over pointer-free nodes: sifts are plain
+// word moves (no write barriers), the tree is half as deep as a binary
+// heap's, and sibling nodes share cache lines. Each arena slot tracks its
+// node's position so Stop can delete in place instead of leaving a
+// tombstone — retransmission timers cancel and re-arm once per request,
+// and tombstones were the bulk of the queue in full-throttle deployments.
+
+// place writes nd at heap position i and records the position.
+func (e *Engine) place(nd node, i int) {
+	e.heap[i] = nd
+	e.arena[nd.idx].pos = int32(i)
 }
 
-// less orders events by (time, insertion sequence).
-func less(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+// push inserts nd into the heap.
+func (e *Engine) push(nd node) {
+	e.heap = append(e.heap, node{})
+	e.siftUp(nd, len(e.heap)-1)
 }
 
-// push inserts ev into the heap (hand-rolled to keep the hot Schedule
-// path free of interface boxing and indirect calls).
-func (e *Engine) push(ev *event) {
-	h := append(e.events, ev)
-	i := len(h) - 1
+func (e *Engine) siftUp(nd node, i int) {
+	h := e.heap
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !less(h[i], h[parent]) {
+		parent := (i - 1) / 4
+		if !less(nd, h[parent]) {
 			break
 		}
-		h[i], h[parent] = h[parent], h[i]
+		e.place(h[parent], i)
 		i = parent
 	}
-	e.events = h
+	e.place(nd, i)
 }
 
-// pop removes and returns the minimum event.
-func (e *Engine) pop() *event {
-	h := e.events
-	ev := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = nil
-	h = h[:n]
-	i := 0
+func (e *Engine) siftDown(nd node, i int) {
+	h := e.heap
+	n := len(h)
 	for {
-		left, right := 2*i+1, 2*i+2
-		smallest := i
-		if left < n && less(h[left], h[smallest]) {
-			smallest = left
-		}
-		if right < n && less(h[right], h[smallest]) {
-			smallest = right
-		}
-		if smallest == i {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		h[i], h[smallest] = h[smallest], h[i]
+		smallest := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(h[c], h[smallest]) {
+				smallest = c
+			}
+		}
+		if !less(h[smallest], nd) {
+			break
+		}
+		e.place(h[smallest], i)
 		i = smallest
 	}
-	e.events = h
-	return ev
+	e.place(nd, i)
+}
+
+// pop removes and returns the minimum node.
+func (e *Engine) pop() node {
+	h := e.heap
+	nd := h[0]
+	n := len(h) - 1
+	tail := h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(tail, 0)
+	}
+	return nd
+}
+
+// remove deletes the queued event in arena slot idx and recycles the
+// slot. The caller guarantees the slot holds a live queued event.
+func (e *Engine) remove(idx int32) {
+	i := int(e.arena[idx].pos)
+	e.recycle(idx)
+	h := e.heap
+	n := len(h) - 1
+	tail := h[n]
+	e.heap = h[:n]
+	if i == n {
+		return
+	}
+	if i > 0 && less(tail, h[(i-1)/4]) {
+		e.siftUp(tail, i)
+	} else {
+		e.siftDown(tail, i)
+	}
+}
+
+// --- Snapshot / Restore -----------------------------------------------------
+
+// Snapshot is a restorable capture of the engine's complete state: clock,
+// event queue, arena (including pending callbacks), free list, insertion
+// sequence and the random stream position. It is bound to the engine that
+// produced it: pending callbacks are closures over that engine's
+// simulation objects, so restoring rolls the same simulation back rather
+// than cloning it onto another.
+type Snapshot struct {
+	owner    *Engine
+	now      Time
+	seq      uint64
+	executed uint64
+	live     int
+	steps    uint64
+	heap     []node
+	lanes    []laneSnap
+	arena    []event
+	free     []int32
+	// cloneIdx lists arena slots whose args are pooled objects (ArgCloner):
+	// the snapshot arena holds a detached master copy and every Restore
+	// hands out a fresh clone of it.
+	cloneIdx []int32
+}
+
+// laneSnap captures one FIFO lane (members from head on, tombstones
+// included — they are part of the exact queue state).
+type laneSnap struct {
+	delay  Time
+	lastAt Time
+	buf    []node
+}
+
+// Snapshot captures the engine state. The capture does not perturb the
+// simulation: a run that continues from here is identical to one that
+// never snapshotted.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		owner:    e,
+		now:      e.now,
+		seq:      e.seq,
+		executed: e.executed,
+		live:     e.live,
+		steps:    e.src.steps,
+		heap:     append([]node(nil), e.heap...),
+		arena:    append([]event(nil), e.arena...),
+		free:     append([]int32(nil), e.free...),
+	}
+	for _, ln := range e.lanes {
+		s.lanes = append(s.lanes, laneSnap{
+			delay:  ln.delay,
+			lastAt: ln.lastAt,
+			buf:    append([]node(nil), ln.buf[ln.head:]...),
+		})
+	}
+	// Detach pooled args: the live object will be recycled and rewritten
+	// once its delivery fires, so the snapshot keeps an immutable master.
+	detach := func(nd node) {
+		ev := &s.arena[nd.idx]
+		if ev.canceled {
+			return
+		}
+		if c, ok := ev.arg.(ArgCloner); ok {
+			ev.arg = c.CloneSimArg()
+			s.cloneIdx = append(s.cloneIdx, nd.idx)
+		}
+	}
+	for _, nd := range s.heap {
+		detach(nd)
+	}
+	for _, ln := range s.lanes {
+		for _, nd := range ln.buf {
+			detach(nd)
+		}
+	}
+	return s
+}
+
+// Restore rolls the engine back to the snapshot state. Timer handles
+// taken before the snapshot become valid again (their generation is part
+// of the captured arena); handles created after it go inert. Restore
+// panics if the snapshot belongs to a different engine.
+func (e *Engine) Restore(s *Snapshot) {
+	if s.owner != e {
+		panic("sim: snapshot restored into a different engine")
+	}
+	e.now, e.seq, e.executed, e.stopped = s.now, s.seq, s.executed, false
+	e.live = s.live
+	e.heap = append(e.heap[:0], s.heap...)
+	e.lanes = e.lanes[:0]
+	clear(e.laneFor)
+	for _, ls := range s.lanes {
+		ln := &lane{
+			delay:  ls.delay,
+			lastAt: ls.lastAt,
+			buf:    append([]node(nil), ls.buf...),
+		}
+		e.lanes = append(e.lanes, ln)
+		e.laneFor[ln.delay] = ln
+	}
+	// Arena slots created after the snapshot stay allocated but are
+	// invalidated and returned to the free list: behavior is identical to
+	// a cold engine because nothing observable depends on slot identity.
+	grown := e.arena[len(s.arena):]
+	e.arena = e.arena[:len(s.arena)]
+	copy(e.arena, s.arena)
+	e.free = append(e.free[:0], s.free...)
+	for i := range grown {
+		grown[i].gen++
+		grown[i].fn, grown[i].call, grown[i].arg = nil, nil, nil
+	}
+	e.arena = e.arena[:len(s.arena)+len(grown)]
+	for i := range grown {
+		e.free = append(e.free, int32(len(s.arena)+i))
+	}
+	// Pooled args are re-cloned per restore so each fork delivers an
+	// object the previous fork has not already recycled.
+	for _, idx := range s.cloneIdx {
+		e.arena[idx].arg = s.arena[idx].arg.(ArgCloner).CloneSimArg()
+	}
+	// The stdlib source state is not copyable; re-derive it by re-seeding
+	// and replaying the stream position (a handful of taps in practice —
+	// protocol code draws randomness sparsely).
+	e.src.Seed(e.seed)
+	for i := uint64(0); i < s.steps; i++ {
+		e.src.src.Int63()
+	}
+	e.src.steps = s.steps
 }

@@ -248,19 +248,26 @@ func TestScheduleAllocFree(t *testing.T) {
 	}
 }
 
-// TestCanceledEventsAreRecycled: stopping timers must not leak events —
-// canceled events return to the free list as the queue drains past them.
+// TestCanceledEventsAreRecycled: stopping a timer removes its event from
+// the queue immediately — no tombstones linger, and the arena slot is
+// reused by the very next schedule.
 func TestCanceledEventsAreRecycled(t *testing.T) {
 	e := New(1)
 	fn := func() {}
 	for i := 0; i < 100; i++ {
 		timer := e.Schedule(time.Duration(i+1)*time.Millisecond, fn)
 		timer.Stop()
+		if e.Pending() != 0 {
+			t.Fatalf("canceled event still queued: Pending() = %d", e.Pending())
+		}
+	}
+	if got := len(e.arena); got != 1 {
+		t.Errorf("cancel+re-arm churn grew the arena to %d slots, want 1", got)
 	}
 	e.Schedule(time.Second, fn)
 	e.Run()
-	if got := len(e.free); got != 101 {
-		t.Errorf("free list holds %d events after drain, want 101", got)
+	if got := len(e.free); got != 1 {
+		t.Errorf("free list holds %d events after drain, want 1", got)
 	}
 	if e.Executed() != 1 {
 		t.Errorf("Executed() = %d, want 1 (canceled events must not fire)", e.Executed())

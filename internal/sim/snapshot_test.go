@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// ticker is a self-rescheduling workload whose mutable state (the event
+// count) lives outside the engine, mirroring how the deployment
+// harnesses pair an engine snapshot with their own state capture.
+type ticker struct {
+	e     *Engine
+	n     int
+	limit int
+	out   []int64
+}
+
+func (tk *ticker) tick() {
+	tk.out = append(tk.out, int64(tk.e.Now()))
+	tk.n++
+	if tk.n < tk.limit {
+		tk.e.Schedule(time.Duration(tk.e.Rand().Int63n(1000))*time.Microsecond, tk.tick)
+	}
+}
+
+// TestSnapshotRestoreIdenticalContinuation: a run continued after
+// Snapshot+Restore must replay exactly the run that never restored, and
+// a snapshot must be reusable for any number of forks.
+func TestSnapshotRestoreIdenticalContinuation(t *testing.T) {
+	mid := Time(10 * time.Millisecond)
+
+	// Reference: run start-to-finish on an engine that never snapshots
+	// (pausing at mid, which is where the other engine will snapshot).
+	cold := &ticker{e: New(7), limit: 40}
+	cold.e.Schedule(0, cold.tick)
+	cold.e.RunUntil(mid)
+	coldMid := cold.n
+	cold.e.Run()
+
+	warm := &ticker{e: New(7), limit: 40}
+	warm.e.Schedule(0, warm.tick)
+	warm.e.RunUntil(mid)
+	if warm.n != coldMid {
+		t.Fatalf("warm stopped at %d events, cold at %d", warm.n, coldMid)
+	}
+	snap := warm.e.Snapshot()
+	midN, midOut := warm.n, len(warm.out)
+
+	// Restore twice: the second fork must match the first (reuse after
+	// restore), and both must match the cold run's tail.
+	tail := cold.out[midOut:]
+	for fork := 0; fork < 2; fork++ {
+		warm.e.Restore(snap)
+		warm.n, warm.out = midN, warm.out[:midOut]
+		warm.e.Run()
+		got := warm.out[midOut:]
+		if len(got) != len(tail) {
+			t.Fatalf("fork %d length %d, want %d", fork, len(got), len(tail))
+		}
+		for i := range tail {
+			if got[i] != tail[i] {
+				t.Fatalf("fork %d diverges at %d: %d vs cold %d", fork, i, got[i], tail[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotRestoresRandStream: the random stream position is part of
+// the snapshot; draws after Restore repeat exactly.
+func TestSnapshotRestoresRandStream(t *testing.T) {
+	e := New(3)
+	for i := 0; i < 100; i++ {
+		e.Rand().Int63()
+		e.Rand().Uint64() // two source taps
+		e.Rand().Float64()
+	}
+	snap := e.Snapshot()
+	a := []int64{e.Rand().Int63(), e.Rand().Int63(), int64(e.Rand().Intn(1000))}
+	e.Restore(snap)
+	b := []int64{e.Rand().Int63(), e.Rand().Int63(), int64(e.Rand().Intn(1000))}
+	if a[0] != b[0] || a[1] != b[1] || a[2] != b[2] {
+		t.Fatalf("rand stream not restored: %v vs %v", a, b)
+	}
+}
+
+// TestSnapshotRevivesPendingTimers: a timer pending at snapshot time must
+// be pending again after restore — including its Stop semantics.
+func TestSnapshotRevivesPendingTimers(t *testing.T) {
+	e := New(1)
+	fired := 0
+	timer := e.Schedule(time.Millisecond, func() { fired++ })
+	snap := e.Snapshot()
+
+	e.Run()
+	if fired != 1 || timer.Active() {
+		t.Fatalf("before restore: fired=%d active=%v", fired, timer.Active())
+	}
+	e.Restore(snap)
+	if !timer.Active() {
+		t.Fatal("restored timer should be active again")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("restored timer did not fire: fired=%d", fired)
+	}
+	e.Restore(snap)
+	if !timer.Stop() {
+		t.Fatal("restored timer should be stoppable")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("stopped restored timer fired: fired=%d", fired)
+	}
+}
+
+// TestSnapshotInertsPostSnapshotTimers: handles created after the
+// snapshot must go inert on restore even though their arena slots are
+// recycled for new events.
+func TestSnapshotInertsPostSnapshotTimers(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Millisecond, func() {})
+	snap := e.Snapshot()
+	late := e.Schedule(2*time.Millisecond, func() {})
+	e.Restore(snap)
+	if late.Active() {
+		t.Error("post-snapshot timer reports active after restore")
+	}
+	if late.Stop() {
+		t.Error("post-snapshot timer stopped a restored event")
+	}
+	fired := 0
+	e.Schedule(3*time.Millisecond, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("restored engine fired %d new events, want 1", fired)
+	}
+}
+
+// TestSnapshotCanceledEventsStayCanceled: cancellations before the
+// snapshot hold in every fork.
+func TestSnapshotCanceledEventsStayCanceled(t *testing.T) {
+	e := New(1)
+	fired := false
+	timer := e.Schedule(time.Millisecond, func() { fired = true })
+	timer.Stop()
+	snap := e.Snapshot()
+	for i := 0; i < 2; i++ {
+		e.Restore(snap)
+		e.Run()
+		if fired {
+			t.Fatalf("canceled event fired in fork %d", i)
+		}
+	}
+}
+
+// cloneArg is a mutable ScheduleCall argument standing in for a pooled
+// message envelope: delivery "recycles" it by overwriting its value.
+type cloneArg struct{ v int }
+
+func (c *cloneArg) CloneSimArg() any { cp := *c; return &cp }
+
+// TestSnapshotClonesPooledArgs: an ArgCloner argument mutated by an
+// earlier fork must be delivered pristine in later forks.
+func TestSnapshotClonesPooledArgs(t *testing.T) {
+	e := New(1)
+	var got []int
+	deliver := func(x any) {
+		m := x.(*cloneArg)
+		got = append(got, m.v)
+		m.v = -1 // recycle: wreck the object
+	}
+	e.ScheduleCall(time.Millisecond, deliver, &cloneArg{v: 42})
+	snap := e.Snapshot()
+	for i := 0; i < 3; i++ {
+		e.Restore(snap)
+		e.Run()
+	}
+	if len(got) != 3 || got[0] != 42 || got[1] != 42 || got[2] != 42 {
+		t.Fatalf("pooled arg deliveries = %v, want three 42s", got)
+	}
+}
+
+// TestSnapshotSameTimeOrdering: ties at one instant keep their insertion
+// order across restore (the captured sequence numbers come back).
+func TestSnapshotSameTimeOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	snap := e.Snapshot()
+	e.Run()
+	first := append([]int(nil), got...)
+	got = got[:0]
+	e.Restore(snap)
+	e.Run()
+	if len(first) != len(got) {
+		t.Fatalf("restored run fired %d events, want %d", len(got), len(first))
+	}
+	for i := range first {
+		if first[i] != got[i] {
+			t.Fatalf("same-time order diverged after restore: %v vs %v", first, got)
+		}
+	}
+}
+
+// TestRestoreForeignSnapshotPanics: snapshots are engine-bound.
+func TestRestoreForeignSnapshotPanics(t *testing.T) {
+	a, b := New(1), New(1)
+	snap := a.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Error("restoring a foreign snapshot did not panic")
+		}
+	}()
+	b.Restore(snap)
+}
+
+// BenchmarkSnapshotRestore measures the fork primitive itself on a
+// loaded engine (1024 pending events).
+func BenchmarkSnapshotRestore(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	snap := e.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Restore(snap)
+	}
+}

@@ -88,9 +88,12 @@ type Stats struct {
 // Network is a simulated network. It is not safe for concurrent use; all
 // calls must happen on the engine goroutine.
 type Network struct {
-	eng          *sim.Engine
-	cfg          Config
-	handlers     map[Addr]Handler
+	eng *sim.Engine
+	cfg Config
+	// handlers is indexed by Addr: node addresses are small and dense,
+	// and the per-delivery lookup is hot enough that a map showed up in
+	// deployment profiles.
+	handlers     []Handler
 	interceptors []Interceptor
 	linkLatency  map[linkKey]time.Duration
 	blocked      map[linkKey]bool
@@ -109,6 +112,12 @@ type Network struct {
 
 type linkKey struct{ from, to Addr }
 
+// CloneSimArg implements sim.ArgCloner: in-flight message envelopes are
+// pooled (recycled at delivery), so an engine snapshot detaches a copy
+// and every restore delivers a fresh one. The payload pointer is shared —
+// protocol messages are treated as immutable once sent.
+func (m *Message) CloneSimArg() any { c := *m; return &c }
+
 // New returns a network running on eng with the given config.
 func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.DropRate < 0 {
@@ -120,7 +129,6 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	n := &Network{
 		eng:         eng,
 		cfg:         cfg,
-		handlers:    make(map[Addr]Handler),
 		linkLatency: make(map[linkKey]time.Duration),
 		blocked:     make(map[linkKey]bool),
 	}
@@ -133,7 +141,12 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 
 // Handle registers the delivery handler for addr, replacing any previous
 // handler. Messages to an address with no handler are counted as dropped.
-func (n *Network) Handle(addr Addr, h Handler) { n.handlers[addr] = h }
+func (n *Network) Handle(addr Addr, h Handler) {
+	for int(addr) >= len(n.handlers) {
+		n.handlers = append(n.handlers, nil)
+	}
+	n.handlers[addr] = h
+}
 
 // AddInterceptor appends an interceptor to the chain.
 func (n *Network) AddInterceptor(i Interceptor) {
@@ -214,7 +227,7 @@ func (n *Network) Send(from, to Addr, payload any) {
 		return
 	}
 	n.stats.Sent++
-	if n.blocked[linkKey{from, to}] {
+	if len(n.blocked) > 0 && n.blocked[linkKey{from, to}] {
 		n.stats.Partitioned++
 		return
 	}
@@ -233,8 +246,10 @@ func (n *Network) Send(from, to Addr, payload any) {
 		return
 	}
 	d := n.cfg.BaseLatency
-	if override, ok := n.linkLatency[linkKey{from, to}]; ok {
-		d = override
+	if len(n.linkLatency) > 0 {
+		if override, ok := n.linkLatency[linkKey{from, to}]; ok {
+			d = override
+		}
 	}
 	if n.cfg.Jitter > 0 {
 		d += time.Duration(n.eng.Rand().Int63n(int64(n.cfg.Jitter)))
@@ -258,6 +273,60 @@ func (n *Network) putMsg(m *Message) {
 	n.freeMsgs = append(n.freeMsgs, m)
 }
 
+// NetSnapshot is a restorable capture of the network's own state:
+// counters, partitions, per-link latency overrides, and the interceptor
+// chain length. In-flight messages are not here — their delivery events
+// live in the engine, whose snapshot clones the pooled envelopes (see
+// Message.CloneSimArg); pairing a Network.Snapshot with the engine's
+// Snapshot captures the network completely.
+type NetSnapshot struct {
+	stats        Stats
+	blocked      map[linkKey]bool
+	linkLatency  map[linkKey]time.Duration
+	interceptors int
+	closed       bool
+}
+
+// Snapshot captures the network state (excluding the handler table,
+// which is structural and never rolled back).
+func (n *Network) Snapshot() *NetSnapshot {
+	s := &NetSnapshot{
+		stats:        n.stats,
+		blocked:      make(map[linkKey]bool, len(n.blocked)),
+		linkLatency:  make(map[linkKey]time.Duration, len(n.linkLatency)),
+		interceptors: len(n.interceptors),
+		closed:       n.closed,
+	}
+	for k, v := range n.blocked {
+		s.blocked[k] = v
+	}
+	for k, v := range n.linkLatency {
+		s.linkLatency[k] = v
+	}
+	return s
+}
+
+// Restore rolls the network back to the snapshot. Interceptors appended
+// after the snapshot (per-test fault tooling) are detached; the chain
+// prefix must be the snapshot's own interceptors, which Restore cannot
+// verify — harnesses only ever append.
+func (n *Network) Restore(s *NetSnapshot) {
+	n.stats = s.stats
+	n.closed = s.closed
+	clear(n.blocked)
+	for k, v := range s.blocked {
+		n.blocked[k] = v
+	}
+	clear(n.linkLatency)
+	for k, v := range s.linkLatency {
+		n.linkLatency[k] = v
+	}
+	for i := s.interceptors; i < len(n.interceptors); i++ {
+		n.interceptors[i] = nil
+	}
+	n.interceptors = n.interceptors[:s.interceptors]
+}
+
 // Broadcast sends payload from->each address in tos (skipping from).
 func (n *Network) Broadcast(from Addr, tos []Addr, payload any) {
 	for _, to := range tos {
@@ -276,12 +345,15 @@ func (n *Network) deliver(m *Message) {
 	}
 	// Re-check the partition at delivery time: messages in flight when a
 	// partition forms are lost, matching the usual fail-stop link model.
-	if n.blocked[linkKey{from, to}] {
+	if len(n.blocked) > 0 && n.blocked[linkKey{from, to}] {
 		n.stats.Partitioned++
 		return
 	}
-	h, ok := n.handlers[to]
-	if !ok {
+	var h Handler
+	if int(to) < len(n.handlers) {
+		h = n.handlers[to]
+	}
+	if h == nil {
 		n.stats.Dropped++
 		return
 	}

@@ -15,7 +15,10 @@ import (
 func TestMinimizeRaftStorm(t *testing.T) {
 	w := avd.DefaultRaftWorkload()
 	w.Warmup = 300 * time.Millisecond
-	w.Measure = 500 * time.Millisecond
+	// Faults arm at measurement start (snapshot/fork execution
+	// semantics), so the window must be long enough for the storm to
+	// develop from a healthy steady state.
+	w.Measure = 1500 * time.Millisecond
 	target, err := avd.NewRaftTarget(w)
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +33,10 @@ func TestMinimizeRaftStorm(t *testing.T) {
 		avd.DimFlapDownMS:     400,
 	})
 	original := target.Run(storm)
-	if original.Impact < 0.9 {
+	// With fault-free warmup (snapshot/fork semantics) the flap attack
+	// tops out lower than when it also degraded the warmup: successor
+	// leaders keep serving between strikes. ~0.6 is a full-blown storm.
+	if original.Impact < 0.55 {
 		t.Fatalf("storm scenario impact %.3f; want a real storm to minimize", original.Impact)
 	}
 

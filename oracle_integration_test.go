@@ -60,7 +60,9 @@ func TestEngineRaftElectionSafetyViolationDetected(t *testing.T) {
 	run := func(inject bool) avd.Result {
 		w := avd.DefaultRaftWorkload()
 		w.Warmup = 300 * time.Millisecond
-		w.Measure = 500 * time.Millisecond
+		// Faults arm at measurement start; give the flap-driven election
+		// churn several strike cycles to hit a split vote.
+		w.Measure = 1500 * time.Millisecond
 		// Near-identical election timeouts force simultaneous candidacies
 		// (split votes), the condition under which double voting elects
 		// two leaders in one term.

@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"avd/internal/cluster"
 	"avd/internal/core"
+	"avd/internal/oracle"
 	"avd/internal/plugin"
 	"avd/internal/scenario"
 	"avd/internal/sim"
@@ -70,6 +72,91 @@ func BenchmarkEngineSchedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Schedule(time.Microsecond, fn)
 		e.Step()
+	}
+}
+
+// snapshotScenario is the Big MAC point the snapshot/fork benchmarks
+// execute (30 correct clients, heavy mask).
+func snapshotScenario(b *testing.B) (*cluster.Runner, scenario.Scenario) {
+	b.Helper()
+	w := cluster.DefaultWorkload()
+	w.Measure = 500 * time.Millisecond
+	r, err := cluster.NewRunner(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.Space(plugin.NewMACCorrupt(), plugin.NewClients())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := s.New(map[string]int64{
+		plugin.DimMACMask:          0x3B2, // Gray-decodes to the 0xEEE mask
+		plugin.DimCorrectClients:   30,
+		plugin.DimMaliciousClients: 1,
+	})
+	r.Baseline(30)
+	return r, sc
+}
+
+// BenchmarkSnapshotForkTest: one test through the fork path (restore a
+// warm master, arm faults, run the measurement window). The CI
+// perf-smoke job runs every Snapshot* benchmark at -benchtime=1x.
+func BenchmarkSnapshotForkTest(b *testing.B) {
+	r, sc := snapshotScenario(b)
+	r.RunFork(sc) // build + warm + capture the master
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RunFork(sc)
+	}
+}
+
+// BenchmarkSnapshotColdTest: the same test cold-building the deployment
+// every time — the before picture of the fork speedup.
+func BenchmarkSnapshotColdTest(b *testing.B) {
+	r, sc := snapshotScenario(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(sc)
+	}
+}
+
+// BenchmarkSnapshotOracleObserve is the oracle hot-path alloc guard: in
+// the steady state (slices grown to the run's high-water mark) observing
+// a commit or leadership event must not allocate.
+func BenchmarkSnapshotOracleObserve(b *testing.B) {
+	set := oracle.NewSet(oracle.NewAgreement("raft"), oracle.NewElectionSafety("raft"))
+	for seq := uint64(1); seq <= 4096; seq++ {
+		for node := 0; node < 5; node++ {
+			set.Observe(oracle.Event{Kind: oracle.EventCommit, Node: node, Seq: seq, Digest: seq * 31})
+		}
+	}
+	set.Observe(oracle.Event{Kind: oracle.EventLeader, Node: 1, Term: 64})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint64(i%4096 + 1)
+		set.Observe(oracle.Event{Kind: oracle.EventCommit, Node: i % 5, Seq: seq, Digest: seq * 31})
+		set.Observe(oracle.Event{Kind: oracle.EventLeader, Node: i % 5, Term: uint64(i % 64)})
+	}
+}
+
+// TestOracleObserveAllocFree is the hard assert behind the benchmark.
+func TestOracleObserveAllocFree(t *testing.T) {
+	set := oracle.NewSet(oracle.NewAgreement("pbft"))
+	for seq := uint64(1); seq <= 1024; seq++ {
+		for node := 0; node < 4; node++ {
+			set.Observe(oracle.Event{Kind: oracle.EventCommit, Node: node, Seq: seq, Digest: seq})
+		}
+	}
+	seq := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		seq = seq%1024 + 1
+		set.Observe(oracle.Event{Kind: oracle.EventCommit, Node: int(seq) % 4, Seq: seq, Digest: seq})
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state oracle Observe allocates %.1f objects per event, want 0", allocs)
 	}
 }
 
