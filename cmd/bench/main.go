@@ -22,10 +22,16 @@
 //   - snapshot_fork: one Big MAC test cold (build+warm+measure) vs
 //     forked from the warm master snapshot, plus the fork-enabled
 //     campaign rate.
+//   - campaign_phases: the serial fig2 campaign's wall-clock decomposed
+//     into master build+warmup, baseline measurement, fork
+//     (restore+arm), measurement windows and impact scoring. Phases are
+//     accumulated inside the harness, so overlapped work (the pipelined
+//     prefetcher, parallel workers, fork-path baselines) can make the
+//     sections sum past the campaign seconds.
 //
 // Modes:
 //
-//	bench -o BENCH_4.json             full measurement run
+//	bench -o BENCH_5.json             full measurement run
 //	bench -quick -o OUT.json          micro sections only (no campaigns)
 //	bench -compare OLD.json -o NEW    diff two reports; exit 1 on
 //	                                  regression (allocs strictly, time
@@ -58,6 +64,8 @@ type opBench struct {
 	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
+type phaseBench = core.PhaseBreakdown
+
 type campaignBench struct {
 	Tests               int     `json:"tests"`
 	MeasureWindowMS     int64   `json:"measure_window_ms"`
@@ -85,18 +93,19 @@ type snapshotForkBench struct {
 }
 
 type report struct {
-	Schema       int               `json:"schema"`
-	GeneratedAt  string            `json:"generated_at"`
-	GoVersion    string            `json:"go_version"`
-	NumCPU       int               `json:"num_cpu"`
-	Campaign     campaignBench     `json:"fig2_campaign"`
-	RaftCampaign campaignBench     `json:"raft_campaign"`
-	TestExec     opBench           `json:"test_execution"`
-	BaselineRun  opBench           `json:"baseline_run"`
-	RaftTestExec opBench           `json:"raft_test_execution"`
-	ScenarioKey  keyBench          `json:"scenario_key"`
-	EngineSched  opBench           `json:"engine_schedule"`
-	SnapshotFork snapshotForkBench `json:"snapshot_fork"`
+	Schema         int               `json:"schema"`
+	GeneratedAt    string            `json:"generated_at"`
+	GoVersion      string            `json:"go_version"`
+	NumCPU         int               `json:"num_cpu"`
+	Campaign       campaignBench     `json:"fig2_campaign"`
+	CampaignPhases phaseBench        `json:"campaign_phases"`
+	RaftCampaign   campaignBench     `json:"raft_campaign"`
+	TestExec       opBench           `json:"test_execution"`
+	BaselineRun    opBench           `json:"baseline_run"`
+	RaftTestExec   opBench           `json:"raft_test_execution"`
+	ScenarioKey    keyBench          `json:"scenario_key"`
+	EngineSched    opBench           `json:"engine_schedule"`
+	SnapshotFork   snapshotForkBench `json:"snapshot_fork"`
 }
 
 func toOp(r testing.BenchmarkResult) opBench {
@@ -109,15 +118,19 @@ func toOp(r testing.BenchmarkResult) opBench {
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_3.json", "output JSON file (with -compare: the NEW report to read)")
+		out     = flag.String("o", "BENCH_4.json", "output JSON file (with -compare: the NEW report to read)")
 		tests   = flag.Int("tests", 125, "campaign budget (Figure-2 size)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel campaign workers")
 		measure = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
 		quick   = flag.Bool("quick", false, "micro benchmarks only (skip campaigns); for CI smoke runs")
+		reps    = flag.Int("reps", 2, "campaign repetitions per configuration; the fastest is reported (shared runners suffer multi-second steal spikes)")
 		compare = flag.String("compare", "", "compare the report in this file (OLD) against -o (NEW) and exit")
 		timeTol = flag.Float64("time-tolerance", 0.10, "allowed fractional regression for time-based metrics in -compare")
 	)
 	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
 
 	if *compare != "" {
 		os.Exit(runCompare(*compare, *out, *timeTol))
@@ -146,7 +159,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:      3,
+		Schema:      4,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -154,25 +167,41 @@ func main() {
 
 	// Campaign throughput through the Engine streaming path, serial vs
 	// parallel, on cold targets (both pay cold baselines).
-	campaign := func(name string, mk func() core.Target) campaignBench {
-		run := func(workers int) time.Duration {
-			eng, err := core.NewEngine(mk(),
-				core.WithSeed(1), core.WithBudget(*tests), core.WithWorkers(workers))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "bench:", err)
-				os.Exit(1)
-			}
-			start := time.Now()
-			if _, err := eng.RunAll(context.Background()); err != nil {
-				fmt.Fprintln(os.Stderr, "bench:", err)
-				os.Exit(1)
-			}
-			return time.Since(start)
+	runCampaign := func(t core.Target, workers int) time.Duration {
+		eng, err := core.NewEngine(t,
+			core.WithSeed(1), core.WithBudget(*tests), core.WithWorkers(workers))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
 		}
+		start := time.Now()
+		if _, err := eng.RunAll(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return time.Since(start)
+	}
+	// Each configuration runs -reps times on a fresh target (identical
+	// deterministic work) and the fastest wall-clock is reported: the
+	// campaign is CPU-bound and noise on a shared runner is strictly
+	// additive, so min-of-N estimates the machine's true rate.
+	bestOf := func(mk func() core.Target, workers int) (time.Duration, core.Target) {
+		var best time.Duration
+		var bestTarget core.Target
+		for i := 0; i < *reps; i++ {
+			t := mk()
+			el := runCampaign(t, workers)
+			if bestTarget == nil || el < best {
+				best, bestTarget = el, t
+			}
+		}
+		return best, bestTarget
+	}
+	campaign := func(name string, mk func() core.Target) (campaignBench, core.Target) {
 		fmt.Printf("%s campaign: %d tests serial...\n", name, *tests)
-		serial := run(1)
+		serial, serialTarget := bestOf(mk, 1)
 		fmt.Printf("%s campaign: %d tests with %d workers...\n", name, *tests, *workers)
-		parallel := run(*workers)
+		parallel, _ := bestOf(mk, *workers)
 		return campaignBench{
 			Tests:               *tests,
 			MeasureWindowMS:     measure.Milliseconds(),
@@ -182,11 +211,16 @@ func main() {
 			ParallelSeconds:     parallel.Seconds(),
 			ParallelTestsPerSec: float64(*tests) / parallel.Seconds(),
 			Speedup:             serial.Seconds() / parallel.Seconds(),
-		}
+		}, serialTarget
 	}
 	if !*quick {
-		rep.Campaign = campaign("pbft", func() core.Target { return newPBFT() })
-		rep.RaftCampaign = campaign("raft", func() core.Target { return newRaft() })
+		var serialTarget core.Target
+		rep.Campaign, serialTarget = campaign("pbft", func() core.Target { return newPBFT() })
+		// The phase decomposition comes from the serial run, where the
+		// sections sum to roughly the campaign wall-clock (no worker or
+		// prefetch overlap).
+		rep.CampaignPhases = serialTarget.(*cluster.Target).Phases()
+		rep.RaftCampaign, _ = campaign("raft", func() core.Target { return newRaft() })
 		rep.SnapshotFork.CampaignTestsPerSec = rep.Campaign.SerialTestsPerSec
 	}
 
@@ -318,6 +352,10 @@ func main() {
 		rep.RaftCampaign.SerialSeconds, rep.RaftCampaign.SerialTestsPerSec,
 		rep.RaftCampaign.Workers, rep.RaftCampaign.ParallelSeconds, rep.RaftCampaign.ParallelTestsPerSec,
 		rep.RaftCampaign.Speedup)
+	if ph := rep.CampaignPhases; ph.RunSeconds > 0 {
+		fmt.Printf("campaign phases: warmup %.2fs, baseline %.2fs, fork %.2fs, run %.2fs, analyze %.2fs\n",
+			ph.WarmupSeconds, ph.BaselineSeconds, ph.ForkSeconds, ph.RunSeconds, ph.AnalyzeSeconds)
+	}
 	fmt.Printf("test execution: bigmac %.1fms/op, clean %.1fms/op, raft storm %.1fms/op\n",
 		float64(rep.TestExec.NsPerOp)/1e6, float64(rep.BaselineRun.NsPerOp)/1e6,
 		float64(rep.RaftTestExec.NsPerOp)/1e6)

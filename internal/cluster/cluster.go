@@ -133,6 +133,10 @@ type Runner struct {
 	// measurement instead of duplicating it.
 	baselines core.BaselineCache
 
+	// phases accumulates the campaign time decomposition
+	// (warmup/baseline/fork/run/analyze) that cmd/bench reports.
+	phases core.PhaseTimes
+
 	// masters caches warm deployments per client population for the
 	// snapshot/fork execution path: a deployment is built and warmed once
 	// per (correct, malicious) population, snapshotted, and then every
@@ -225,6 +229,8 @@ func (r *Runner) runScoredExtra(sc scenario.Scenario, fork bool, extra ...oracle
 		res, rep = r.execute(sc, correct, true, extra...)
 	}
 	baseline := r.Baseline(correct)
+	analyzeStart := time.Now()
+	defer func() { r.phases.AddAnalyze(time.Since(analyzeStart)) }()
 	res.BaselineThroughput = baseline
 	if baseline > 0 {
 		ref := baseline
@@ -260,13 +266,17 @@ func (r *Runner) Baseline(correctClients int64) float64 {
 }
 
 func (r *Runner) measureBaseline(correctClients int64) float64 {
+	start := time.Now()
+	defer func() { r.phases.AddBaseline(time.Since(start)) }()
 	empty := scenario.MustNewSpace(scenario.Dimension{
 		Name: plugin.DimCorrectClients, Min: correctClients, Max: correctClients, Step: 1,
 	}).New(nil)
-	// Baselines go through the snapshot path too: the attack-free
-	// deployment for a client count is itself a fork of the (count, 0)
-	// master, so the BaselineCache warms without re-building clusters.
-	res, _ := r.executeFork(empty, correctClients, false)
+	// Baselines run cold and the deployment is discarded: the (count, 0)
+	// population is never forked again (scenarios always deploy at least
+	// one malicious client), the value is memoized by the BaselineCache,
+	// and caching the master would only add a dead cluster to every GC
+	// mark phase plus a snapshot capture nobody restores.
+	res, _ := r.execute(empty, correctClients, false)
 	return res.Throughput
 }
 
@@ -282,6 +292,36 @@ func (r *Runner) Warm(batch []scenario.Scenario) {
 	}
 	r.baselines.Warm(counts, r.measureBaseline)
 }
+
+var _ core.Preparer = (*Runner)(nil)
+
+// Prepare implements core.Preparer: it readies the scenario's
+// per-population artifacts — the warm, captured master deployment and
+// the baseline measurement — ahead of the run, so the pipelined campaign
+// executor can overlap the next population's build+warmup with the
+// current population's measurement. Prepare changes no observable
+// result: the master is the same deterministic build the run would do,
+// and the baseline the same memoized measurement.
+func (r *Runner) Prepare(sc scenario.Scenario) {
+	correct := sc.GetOr(plugin.DimCorrectClients, 10)
+	key := masterKey{correct: correct, malicious: armedMalicious(sc, true)}
+	r.masters.Prepare(key, func() *deployment {
+		start := time.Now()
+		d := r.newDeployment(key.correct, key.malicious)
+		d.eng.RunFor(r.w.Warmup)
+		r.phases.AddWarmup(time.Since(start))
+		forkStart := time.Now()
+		d.capture()
+		r.phases.AddFork(time.Since(forkStart))
+		return d
+	})
+	r.Baseline(correct)
+}
+
+// Phases returns the accumulated campaign-phase breakdown (see
+// core.PhaseTimes). The accumulators live for the Runner's lifetime;
+// cmd/bench isolates campaigns by constructing a fresh target per run.
+func (r *Runner) Phases() core.PhaseBreakdown { return r.phases.Breakdown() }
 
 // execute builds, warms and runs one cold deployment. withFaults=false
 // strips every malicious element (baseline measurement). Faults arm at
@@ -301,18 +341,25 @@ func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults 
 func (r *Runner) executeFork(sc scenario.Scenario, correctClients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
 	key := masterKey{correct: correctClients, malicious: armedMalicious(sc, withFaults)}
 	d := r.masters.Acquire(key, func() *deployment {
+		start := time.Now()
+		defer func() { r.phases.AddWarmup(time.Since(start)) }()
 		d := r.newDeployment(key.correct, key.malicious)
 		d.eng.RunFor(r.w.Warmup)
 		return d
 	})
 	defer r.masters.Release(key, d)
+	forkStart := time.Now()
 	if d.snap == nil {
 		d.capture()
 	} else {
 		d.restore()
 	}
 	d.arm(sc, withFaults, extra...)
-	return d.measure(sc)
+	r.phases.AddFork(time.Since(forkStart))
+	runStart := time.Now()
+	res, rep := d.measure(sc)
+	r.phases.AddRun(time.Since(runStart))
+	return res, rep
 }
 
 // armedMalicious is the malicious-client population a scenario deploys

@@ -85,6 +85,18 @@ type Snapshotter interface {
 	RunFork(sc scenario.Scenario) Result
 }
 
+// Preparer is the prefetch capability of the pipelined campaign executor
+// (DESIGN.md §9): Prepare makes the expensive per-population artifacts a
+// scenario needs — the warm master deployment and the baseline
+// measurement — ready ahead of its run, so the engine can overlap the
+// next test's master build+warmup with the current test's measurement.
+// Prepare must be safe for concurrent use, idempotent, and free of
+// observable effects on results: a campaign with prefetching is
+// bit-for-bit the campaign without it, only faster.
+type Preparer interface {
+	Prepare(sc scenario.Scenario)
+}
+
 // Plugin mediates between the controller and one testing tool (§3): it
 // owns the tool's hyperspace dimensions and knows how to mutate them by a
 // given distance. Implementations live in internal/plugin.

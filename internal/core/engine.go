@@ -70,6 +70,15 @@ func (c *Checkpoint) append(r Result) {
 	c.mu.Unlock()
 }
 
+// appendBatch records a whole executed batch under one lock: results and
+// their violations reach the checkpoint as a unit, which is both cheaper
+// and what replay expects (batch-aligned progress).
+func (c *Checkpoint) appendBatch(rs []Result) {
+	c.mu.Lock()
+	c.results = append(c.results, rs...)
+	c.mu.Unlock()
+}
+
 func (c *Checkpoint) snapshot() []Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -320,6 +329,14 @@ func (e *Engine) drive(ctx context.Context, emit func(Result) bool) {
 	if s, ok := e.target.(Snapshotter); ok && !e.cfg.coldRuns {
 		runFn = s.RunFork
 	}
+	// Pipelined prefetch (DESIGN.md §9): a Preparer target gets its
+	// per-population masters and baselines built concurrently with the
+	// batch's measurements instead of serially ahead of them. Prepare is
+	// result-neutral by contract, so the pipeline preserves bit-for-bit
+	// determinism per (seed, workers).
+	preparer, _ := e.target.(Preparer)
+	var prepWG sync.WaitGroup
+	defer prepWG.Wait()
 	workers := e.cfg.workers
 	if workers > e.cfg.budget {
 		workers = e.cfg.budget
@@ -367,8 +384,24 @@ func (e *Engine) drive(ctx context.Context, emit func(Result) bool) {
 			}
 		}
 		live := batch[replayed:]
-		if len(live) > 0 && warmer != nil {
-			warmer.Warm(live)
+		if len(live) > 0 && workers > 1 {
+			if preparer != nil {
+				// Fire-and-forget: workers start measuring immediately
+				// while the populations they need next warm up behind
+				// them. Baselines singleflight; masters prepared here
+				// serve checkouts from this batch's tail and every later
+				// batch (an Acquire never stalls on a prefetch — on a
+				// cold cache it builds its own).
+				for _, sc := range live {
+					prepWG.Add(1)
+					go func(sc scenario.Scenario) {
+						defer prepWG.Done()
+						preparer.Prepare(sc)
+					}(sc)
+				}
+			} else if warmer != nil {
+				warmer.Warm(live)
+			}
 		}
 		if len(live) == 1 {
 			results[replayed] = runFn(live[0])
@@ -383,6 +416,15 @@ func (e *Engine) drive(ctx context.Context, emit func(Result) bool) {
 			}
 			wg.Wait()
 		}
+		// Results and their violations are delivered in batch: one
+		// checkpoint lock per batch, then the in-order feedback/emit
+		// loop.
+		for i := range live {
+			results[replayed+i].Generator = generators[replayed+i]
+		}
+		if e.cfg.checkpoint != nil && len(live) > 0 {
+			e.cfg.checkpoint.appendBatch(results[replayed : replayed+len(live)])
+		}
 		canceled := false
 		for i := range batch {
 			var res Result
@@ -390,15 +432,11 @@ func (e *Engine) drive(ctx context.Context, emit func(Result) bool) {
 				res = replay[executed]
 			} else {
 				res = results[i]
-				res.Generator = generators[i]
 			}
 			e.ex.Record(res)
 			executed++
 			if i < replayed {
 				continue // already checkpointed, observed and consumed
-			}
-			if e.cfg.checkpoint != nil {
-				e.cfg.checkpoint.append(res)
 			}
 			if e.cfg.observer != nil {
 				e.cfg.observer(executed, res)

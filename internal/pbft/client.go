@@ -2,6 +2,7 @@ package pbft
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"avd/internal/faultinject"
@@ -65,19 +66,30 @@ type Client struct {
 	// per-call map lookup showed up in campaign profiles).
 	macPoint *faultinject.Point
 
-	running    bool
-	view       uint64 // best known view, learned from replies
-	seq        uint64
-	curDone    bool // current request already completed (guards late replies)
-	curDigest  uint64
-	sentAt     sim.Time
-	replies    map[int]uint64 // replica -> result for the current request
+	running   bool
+	view      uint64 // best known view, learned from replies
+	seq       uint64
+	curDone   bool // current request already completed (guards late replies)
+	curDigest uint64
+	sentAt    sim.Time
+	// replies records the current request's per-replica results densely:
+	// a presence mask plus one slot per replica id (the map this used to
+	// be was a per-reply hot path).
+	replies    []uint64
+	repMask    uint64
 	retryTimer sim.Timer
 	curRetry   time.Duration
 	retryFor   uint64 // request seq the retry timer was armed for
 	retryFn    func() // pre-bound retry callback (no per-arm closure)
 	allAddrs   []simnet.Addr
 	authKeys   []mac.Key // pairwise key per replica, derived once
+
+	// Rewindable bump slabs for requests and their authenticator
+	// vectors (see slab in replica.go): requests are built once per
+	// transmission and shared by pointer; a snapshot restore rewinds
+	// both slabs to their capture marks.
+	reqSlab slab[Request]
+	auths   tagSlab
 
 	// onComplete, when set, observes every completed request.
 	onComplete func(seq uint64, latency time.Duration)
@@ -122,7 +134,7 @@ func NewClient(addr simnet.Addr, pcfg Config, ccfg ClientConfig, net *simnet.Net
 		net:     net,
 		keyring: keyring,
 		inj:     faultinject.NewInjector(faultinject.Plan{}),
-		replies: make(map[int]uint64),
+		replies: make([]uint64, pcfg.N),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -179,7 +191,7 @@ func (c *Client) issueNext() {
 	}
 	c.seq++
 	c.curDone = false
-	clear(c.replies)
+	c.repMask = 0
 	c.curRetry = c.ccfg.Retry
 	c.sentAt = c.eng.Now()
 	c.stats.Issued++
@@ -199,17 +211,17 @@ func (c *Client) issueNext() {
 // transmission but leave its retransmission intact (the undocumented-bug
 // dynamics of §6).
 func (c *Client) buildRequest(retransmission bool) *Request {
-	req := &Request{
+	req := c.reqSlab.get()
+	*req = Request{
 		Client:         c.addr,
 		Seq:            c.seq,
 		Op:             uint64(c.seq)<<16 | uint64(c.addr)&0xffff,
 		Retransmission: retransmission,
 	}
 	digest := req.Digest()
-	auth := make(mac.Authenticator, c.pcfg.N)
-	for i := 0; i < c.pcfg.N; i++ {
-		tag := c.generateMAC(i, digest)
-		auth[i] = tag
+	auth := c.auths.get(c.pcfg.N)
+	for i := range auth {
+		auth[i] = c.generateMAC(i, digest)
 	}
 	req.Auth = auth
 	return req
@@ -255,7 +267,11 @@ func (c *Client) onMessage(from simnet.Addr, payload any) {
 	if reply.Seq != c.seq || reply.Client != c.addr || c.curDone {
 		return
 	}
-	if !mac.Verify(c.keyring.Pairwise(reply.Replica, int(c.addr)), reply.digest(), reply.Tag) {
+	// Pairwise keys are symmetric, so the cached per-replica key vector
+	// verifies replies too (the derivation showed up per-reply in
+	// campaign profiles).
+	if reply.Replica < 0 || reply.Replica >= len(c.authKeys) ||
+		!mac.Verify(c.authKeys[reply.Replica], reply.digest(), reply.Tag) {
 		c.stats.BadReplies++
 		return
 	}
@@ -263,11 +279,15 @@ func (c *Client) onMessage(from simnet.Addr, payload any) {
 		c.view = reply.View
 	}
 	c.replies[reply.Replica] = reply.Result
+	c.repMask |= 1 << uint(reply.Replica)
 	// f+1 matching results complete the request. Only the result just
 	// recorded can newly reach the threshold, so count its matches.
 	matches := 0
-	for _, res := range c.replies {
-		if res == reply.Result {
+	m := c.repMask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		if c.replies[i] == reply.Result {
 			matches++
 		}
 	}

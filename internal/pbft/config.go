@@ -96,6 +96,10 @@ func (c Config) Validate() error {
 	if c.F < 1 {
 		return fmt.Errorf("pbft: F=%d must be at least 1", c.F)
 	}
+	if c.N > 64 {
+		// Vote sets record per-replica votes in a 64-bit presence mask.
+		return fmt.Errorf("pbft: N=%d exceeds the supported maximum of 64 replicas", c.N)
+	}
 	if c.BatchSize < 1 {
 		return fmt.Errorf("pbft: batch size %d must be at least 1", c.BatchSize)
 	}

@@ -36,11 +36,19 @@ type Request struct {
 	// Retransmission marks a client retransmission (broadcast to all
 	// replicas after a timeout).
 	Retransmission bool
+	// dig caches Digest(): batch digests, MAC checks and the execution
+	// fold each rehash the same immutable body roughly ten times per
+	// request otherwise. Zero means "not computed yet" (the digest is a
+	// folded FNV state, which is never zero in practice).
+	dig uint64
 }
 
 // Digest returns the request digest covered by the authenticator.
 func (r *Request) Digest() uint64 {
-	return fnv3(uint64(r.Client), r.Seq, r.Op)
+	if r.dig == 0 {
+		r.dig = fnv3(uint64(r.Client), r.Seq, r.Op)
+	}
+	return r.dig
 }
 
 // Key identifies the request independent of its payload.

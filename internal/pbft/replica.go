@@ -2,12 +2,112 @@ package pbft
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"avd/internal/mac"
 	"avd/internal/sim"
 	"avd/internal/simnet"
 )
+
+// slab is a rewindable bump allocator for protocol objects that are
+// built once, shared by pointer and never individually freed (requests,
+// replies, votes): a full-throughput deployment used to allocate one
+// heap object per reply per replica, which made the allocator and the
+// garbage collector the top sites of a campaign profile.
+//
+// Rewindability is what makes snapshot/fork execution allocation-flat:
+// everything a measurement window builds becomes unreachable the moment
+// the deployment restores its snapshot, so Restore rewinds each slab to
+// its capture mark and the next fork overwrites the same memory.
+// Objects are handed out dirty — every call site fully initializes the
+// object — and objects allocated before the mark are never rewound, so
+// pointers captured by the snapshot stay valid.
+type slab[T any] struct {
+	chunks [][]T
+	ci     int // chunk currently being carved
+	off    int // next free slot in that chunk
+}
+
+// slabMark is a rewind point: the allocation position at capture time.
+type slabMark struct{ ci, off int }
+
+const slabChunk = 512
+
+func (s *slab[T]) get() *T {
+	if s.ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]T, slabChunk))
+	}
+	c := s.chunks[s.ci]
+	p := &c[s.off]
+	if s.off++; s.off == len(c) {
+		s.ci++
+		s.off = 0
+	}
+	return p
+}
+
+func (s *slab[T]) mark() slabMark    { return slabMark{ci: s.ci, off: s.off} }
+func (s *slab[T]) rewind(m slabMark) { s.ci, s.off = m.ci, m.off }
+
+// tagSlab is the authenticator-vector variant of slab: it carves
+// n-contiguous []mac.Tag windows and rewinds the same way.
+type tagSlab struct {
+	chunks [][]mac.Tag
+	ci     int
+	off    int
+}
+
+func (s *tagSlab) get(n int) mac.Authenticator {
+	if s.ci < len(s.chunks) && s.off+n > len(s.chunks[s.ci]) {
+		s.ci++
+		s.off = 0
+	}
+	if s.ci == len(s.chunks) {
+		size := 256 * n
+		s.chunks = append(s.chunks, make([]mac.Tag, size))
+	}
+	c := s.chunks[s.ci]
+	a := mac.Authenticator(c[s.off : s.off+n : s.off+n])
+	if s.off += n; s.off == len(c) {
+		s.ci++
+		s.off = 0
+	}
+	return a
+}
+
+func (s *tagSlab) mark() slabMark    { return slabMark{ci: s.ci, off: s.off} }
+func (s *tagSlab) rewind(m slabMark) { s.ci, s.off = m.ci, m.off }
+
+// voteSet is a dense vote record over replica ids: a presence bitmask
+// plus one digest slot per replica. It replaces the per-entry
+// map[int]uint64 vote maps, whose iteration and per-entry allocation
+// dominated the agreement path (checkPrepared/checkCommitted) in
+// campaign profiles. Replica ids must be < 64 (Config.Validate enforces
+// N <= 64).
+type voteSet struct {
+	mask    uint64
+	digests []uint64 // indexed by replica id, len N
+}
+
+func (v *voteSet) set(id int, d uint64) {
+	v.mask |= 1 << uint(id)
+	v.digests[id] = d
+}
+
+// countMatching counts votes for digest d.
+func (v *voteSet) countMatching(d uint64) int {
+	matching := 0
+	m := v.mask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		if v.digests[i] == d {
+			matching++
+		}
+	}
+	return matching
+}
 
 // ByzantineBehavior configures a faulty replica. The zero value (or a nil
 // pointer) is a correct replica. The only replica-side behavior the paper
@@ -65,15 +165,11 @@ type logEntry struct {
 	// valid MACs *heals* the index (the real implementation fetches
 	// missing/unauthenticated requests the same way).
 	badIdx    map[int]bool
-	prepares  map[int]uint64 // backup replica -> digest voted
-	commits   map[int]uint64
+	prepares  voteSet // replica -> digest voted
+	commits   voteSet
 	prepared  bool
 	committed bool
 	executed  bool
-}
-
-func newLogEntry() *logEntry {
-	return &logEntry{prepares: make(map[int]uint64), commits: make(map[int]uint64)}
 }
 
 // poisoned reports whether the entry still has unauthenticated requests.
@@ -82,13 +178,19 @@ func (e *logEntry) poisoned() bool { return len(e.badIdx) > 0 }
 // reset clears agreement state when the entry is superseded by a higher
 // view's pre-prepare.
 func (e *logEntry) reset(view uint64) {
+	e.resetKeepVotes(view)
+	e.prepares.mask = 0
+	e.commits.mask = 0
+}
+
+// resetKeepVotes is reset minus the vote sets: same-view votes buffered
+// before the pre-prepare arrived survive (see acceptPrePrepare).
+func (e *logEntry) resetKeepVotes(view uint64) {
 	e.view = view
 	e.digest = 0
 	e.batch = nil
 	e.prePrepare = nil
 	e.badIdx = nil
-	e.prepares = make(map[int]uint64)
-	e.commits = make(map[int]uint64)
 	e.prepared = false
 	e.committed = false
 }
@@ -128,15 +230,24 @@ type Replica struct {
 	lastExec   uint64
 	lowWater   uint64
 	log        map[uint64]*logEntry
+	// entryFree recycles log entries (and their vote-set backing) across
+	// watermark advances and snapshot restores.
+	entryFree []*logEntry
 
-	// Primary batching state.
+	// Primary batching state. admitted records, densely by client
+	// address, the highest request seq this primary has admitted into a
+	// batch and not seen a view change since: client seqs are issued
+	// monotonically, so one word replaces the RequestKey set (whose
+	// hashing was a per-request cost) for pending-duplicate suppression.
 	pending    []*Request
-	inFlight   map[RequestKey]bool
+	admitted   []uint64
 	batchTimer sim.Timer
 	slowTimer  sim.Timer
 
-	// Client bookkeeping.
-	lastReply map[simnet.Addr]*Reply
+	// Client bookkeeping: the last reply sent per client address.
+	// Addresses are small and dense, so a slice beats the map this used
+	// to be (the lookup runs once per executed request per replica).
+	lastReply []*Reply
 
 	// Client-request view-change timers (§6). pendingForwarded holds the
 	// requests this replica received directly from clients and has not
@@ -149,8 +260,9 @@ type Replica struct {
 	// valid retransmission can heal them.
 	pendingBad map[RequestKey][]seqIdx
 
-	// Checkpoints: seq -> replica -> state digest.
-	checkpoints map[uint64]map[int]uint64
+	// Checkpoints: seq -> per-replica digest votes (pooled via ckptFree).
+	checkpoints map[uint64]*voteSet
+	ckptFree    []*voteSet
 	stateDigest uint64
 
 	// View change state: target view -> replica -> message.
@@ -178,6 +290,25 @@ type Replica struct {
 	// (entry i for replica i); the keyring derivation is deterministic,
 	// so deriving once at construction keeps authFor allocation-light.
 	authKeys []mac.Key
+	// allAddrs caches the replica address list handed to Broadcast.
+	allAddrs []simnet.Addr
+	// clientKeys caches pairwise client keys densely by address (the
+	// derivation runs once per reply and once per MAC verification
+	// otherwise). The zero Key marks "not derived yet": pairwise keys are
+	// folded FNV states, for which zero does not occur in practice.
+	clientKeys []mac.Key
+
+	// Rewindable bump slabs for protocol objects built on the agreement
+	// hot path (see slab). auths backs authenticator vectors, N tags at
+	// a time. Snapshot captures each slab's mark and Restore rewinds it:
+	// a fork reuses the previous window's memory.
+	replySlab  slab[Reply]
+	prepSlab   slab[Prepare]
+	commitSlab slab[Commit]
+	ppSlab     slab[PrePrepare]
+	fwSlab     slab[forwarded]
+	fwdMsgSlab slab[ForwardedRequest]
+	auths      tagSlab
 
 	// commitObserver, when set, observes every batch execution: the
 	// sequence number and the batch digest this replica committed there.
@@ -226,12 +357,10 @@ func NewReplica(id int, cfg Config, net *simnet.Network, keyring *mac.Keyring, o
 		net:                  net,
 		keyring:              keyring,
 		log:                  make(map[uint64]*logEntry),
-		inFlight:             make(map[RequestKey]bool),
-		lastReply:            make(map[simnet.Addr]*Reply),
 		pendingForwarded:     make(map[RequestKey]*forwarded),
 		reqTimers:            make(map[RequestKey]sim.Timer),
 		pendingBad:           make(map[RequestKey][]seqIdx),
-		checkpoints:          make(map[uint64]map[int]uint64),
+		checkpoints:          make(map[uint64]*voteSet),
 		viewChanges:          make(map[uint64]map[int]*ViewChange),
 		nvTimeout:            cfg.NewViewTimeout,
 		crashOnBadReproposal: true,
@@ -240,8 +369,10 @@ func NewReplica(id int, cfg Config, net *simnet.Network, keyring *mac.Keyring, o
 		opt(r)
 	}
 	r.authKeys = make([]mac.Key, cfg.N)
+	r.allAddrs = make([]simnet.Addr, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		r.authKeys[i] = keyring.Pairwise(id, i)
+		r.allAddrs[i] = simnet.Addr(i)
 	}
 	r.proposeBatchFn = r.proposeBatch
 	r.reqTimerFn = r.onRequestTimerFired
@@ -292,17 +423,87 @@ func (r *Replica) isSlowPrimary() bool {
 	return r.byz != nil && r.byz.SlowPrimary && r.isPrimary() && !r.inViewChange && !r.crashed
 }
 
-func (r *Replica) replicaAddrs() []simnet.Addr {
-	addrs := make([]simnet.Addr, 0, r.cfg.N)
-	for i := 0; i < r.cfg.N; i++ {
-		addrs = append(addrs, simnet.Addr(i))
+func (r *Replica) replicaAddrs() []simnet.Addr { return r.allAddrs }
+
+// authFor builds a replica-to-replica authenticator covering digest. The
+// vector is carved from the tag slab: one bump per authenticator instead
+// of one heap object.
+func (r *Replica) authFor(digest uint64) mac.Authenticator {
+	a := r.auths.get(r.cfg.N)
+	for i, k := range r.authKeys {
+		a[i] = mac.Sum(k, digest)
 	}
-	return addrs
+	return a
 }
 
-// authFor builds a replica-to-replica authenticator covering digest.
-func (r *Replica) authFor(digest uint64) mac.Authenticator {
-	return mac.NewAuthenticator(r.authKeys, digest)
+// newEntry hands out a log entry from the pool, vote-set backing
+// included.
+func (r *Replica) newEntry() *logEntry {
+	if n := len(r.entryFree); n > 0 {
+		e := r.entryFree[n-1]
+		r.entryFree = r.entryFree[:n-1]
+		return e
+	}
+	return &logEntry{
+		prepares: voteSet{digests: make([]uint64, r.cfg.N)},
+		commits:  voteSet{digests: make([]uint64, r.cfg.N)},
+	}
+}
+
+// freeEntry clears an entry dropped from the log and returns it to the
+// pool.
+func (r *Replica) freeEntry(e *logEntry) {
+	e.reset(0)
+	e.executed = false
+	r.entryFree = append(r.entryFree, e)
+}
+
+// newCkptSet hands out a checkpoint vote set from the pool.
+func (r *Replica) newCkptSet() *voteSet {
+	if n := len(r.ckptFree); n > 0 {
+		v := r.ckptFree[n-1]
+		r.ckptFree = r.ckptFree[:n-1]
+		v.mask = 0
+		return v
+	}
+	return &voteSet{digests: make([]uint64, r.cfg.N)}
+}
+
+func (r *Replica) freeCkptSet(v *voteSet) { r.ckptFree = append(r.ckptFree, v) }
+
+// clientKey returns the pairwise key shared with a client, deriving and
+// caching it on first use.
+func (r *Replica) clientKey(a simnet.Addr) mac.Key {
+	if int(a) >= 0 && int(a) < len(r.clientKeys) {
+		if k := r.clientKeys[a]; k != 0 {
+			return k
+		}
+	}
+	k := r.keyring.Pairwise(r.id, int(a))
+	if int(a) >= 0 {
+		for int(a) >= len(r.clientKeys) {
+			r.clientKeys = append(r.clientKeys, 0)
+		}
+		r.clientKeys[a] = k
+	}
+	return k
+}
+
+// lastReplyFor returns the cached last reply for a client, nil when none.
+func (r *Replica) lastReplyFor(a simnet.Addr) *Reply {
+	if int(a) >= 0 && int(a) < len(r.lastReply) {
+		return r.lastReply[a]
+	}
+	return nil
+}
+
+// setLastReply records the last reply sent to a client, growing the
+// dense table on first contact.
+func (r *Replica) setLastReply(a simnet.Addr, rp *Reply) {
+	for int(a) >= len(r.lastReply) {
+		r.lastReply = append(r.lastReply, nil)
+	}
+	r.lastReply[a] = rp
 }
 
 // verifyPeer checks our entry of a peer replica's authenticator.
@@ -315,7 +516,7 @@ func (r *Replica) verifyClientMAC(req *Request) bool {
 	if req.IsNull() {
 		return true
 	}
-	return req.Auth.VerifyEntry(r.id, r.keyring.Pairwise(int(req.Client), r.id), req.Digest())
+	return req.Auth.VerifyEntry(r.id, r.clientKey(req.Client), req.Digest())
 }
 
 func (r *Replica) crash(reason string) {
@@ -361,7 +562,7 @@ func (r *Replica) onMessage(from simnet.Addr, payload any) {
 func (r *Replica) onDirectRequest(req *Request) {
 	key := req.Key()
 	// Executed already? Re-send the cached reply.
-	if last, ok := r.lastReply[req.Client]; ok && last.Seq >= req.Seq {
+	if last := r.lastReplyFor(req.Client); last != nil && last.Seq >= req.Seq {
 		if last.Seq == req.Seq {
 			r.net.Send(r.Addr(), req.Client, last)
 		}
@@ -378,7 +579,8 @@ func (r *Replica) onDirectRequest(req *Request) {
 	valid := r.verifyClientMAC(req)
 	fw, ok := r.pendingForwarded[key]
 	if !ok {
-		fw = &forwarded{req: req}
+		fw = r.fwSlab.get()
+		fw.req, fw.verified = req, false
 		r.pendingForwarded[key] = fw
 		r.stats.ForwardedRequests++
 	}
@@ -388,7 +590,9 @@ func (r *Replica) onDirectRequest(req *Request) {
 		r.healPoisoned(key)
 	}
 	if !r.inViewChange {
-		r.net.Send(r.Addr(), simnet.Addr(r.cfg.PrimaryOf(r.view)), &ForwardedRequest{Request: req, Replica: r.id})
+		fm := r.fwdMsgSlab.get()
+		fm.Request, fm.Replica = req, r.id
+		r.net.Send(r.Addr(), simnet.Addr(r.cfg.PrimaryOf(r.view)), fm)
 		r.armRequestTimer(key)
 	}
 }
@@ -419,9 +623,10 @@ func (r *Replica) healPoisoned(key RequestKey) {
 		if r.inViewChange || entry.view != r.view || entry.prePrepare == nil {
 			continue
 		}
-		prep := &Prepare{View: entry.view, SeqNo: si.seq, Digest: entry.digest, Replica: r.id}
+		prep := r.prepSlab.get()
+		*prep = Prepare{View: entry.view, SeqNo: si.seq, Digest: entry.digest, Replica: r.id}
 		prep.Auth = r.authFor(fnv3(prep.View, prep.SeqNo, prep.Digest))
-		entry.prepares[r.id] = entry.digest
+		entry.prepares.set(r.id, entry.digest)
 		r.net.Broadcast(r.Addr(), r.replicaAddrs(), prep)
 		r.checkPrepared(si.seq, entry)
 		r.checkCommitted(si.seq, entry)
@@ -434,7 +639,7 @@ func (r *Replica) onForwardedRequest(fw *ForwardedRequest) {
 		return
 	}
 	req := fw.Request
-	if last, ok := r.lastReply[req.Client]; ok && last.Seq >= req.Seq {
+	if last := r.lastReplyFor(req.Client); last != nil && last.Seq >= req.Seq {
 		if last.Seq == req.Seq {
 			r.net.Send(r.Addr(), req.Client, last)
 		}
@@ -445,8 +650,7 @@ func (r *Replica) onForwardedRequest(fw *ForwardedRequest) {
 
 // primaryAdmit runs the primary's admission path for a client request.
 func (r *Replica) primaryAdmit(req *Request) {
-	key := req.Key()
-	if r.inFlight[key] {
+	if int(req.Client) < len(r.admitted) && r.admitted[req.Client] >= req.Seq {
 		return
 	}
 	if r.isSlowPrimary() {
@@ -459,8 +663,7 @@ func (r *Replica) primaryAdmit(req *Request) {
 			r.stats.RejectedRequests++
 			return
 		}
-		r.inFlight[key] = true
-		r.pending = append(r.pending, req)
+		r.admit(req)
 		return
 	}
 	if !r.verifyClientMAC(req) {
@@ -469,8 +672,7 @@ func (r *Replica) primaryAdmit(req *Request) {
 		r.stats.RejectedRequests++
 		return
 	}
-	r.inFlight[key] = true
-	r.pending = append(r.pending, req)
+	r.admit(req)
 	if len(r.pending) >= r.cfg.BatchSize {
 		r.proposeBatch()
 		return
@@ -478,6 +680,29 @@ func (r *Replica) primaryAdmit(req *Request) {
 	if !r.batchTimer.Active() {
 		r.batchTimer = r.eng.Schedule(r.cfg.BatchDelay, r.proposeBatchFn)
 	}
+}
+
+// admit records the request as admitted and buffers it for batching.
+func (r *Replica) admit(req *Request) {
+	for int(req.Client) >= len(r.admitted) {
+		r.admitted = append(r.admitted, 0)
+	}
+	r.admitted[req.Client] = req.Seq
+	r.appendPending(req)
+}
+
+// appendPending buffers a request for the next batch. Proposed batches
+// are resliced prefixes of the buffer that escape into the log, so the
+// backing array can never be rewound; growing in large chunks keeps the
+// admission path at one allocation per ~thousand requests instead of one
+// per proposed batch.
+func (r *Replica) appendPending(req *Request) {
+	if len(r.pending) == cap(r.pending) {
+		nb := make([]*Request, len(r.pending), 1024+2*len(r.pending))
+		copy(nb, r.pending)
+		r.pending = nb
+	}
+	r.pending = append(r.pending, req)
 }
 
 // proposeBatch emits a pre-prepare for the currently buffered requests.
@@ -495,8 +720,10 @@ func (r *Replica) proposeBatch() {
 		if n > r.cfg.BatchSize {
 			n = r.cfg.BatchSize
 		}
-		batch := r.pending[:n]
-		r.pending = append([]*Request(nil), r.pending[n:]...)
+		// Reslice instead of copying the tail: the batch prefix escapes
+		// into the log/pre-prepare, and later appends write past it.
+		batch := r.pending[:n:n]
+		r.pending = r.pending[n:]
 		r.seqCounter++
 		r.sendPrePrepare(r.seqCounter, batch)
 	}
@@ -509,7 +736,8 @@ func (r *Replica) sendPrePrepare(seq uint64, batch []*Request) {
 		return
 	}
 	digest := BatchDigest(batch)
-	pp := &PrePrepare{
+	pp := r.ppSlab.get()
+	*pp = PrePrepare{
 		View:   r.view,
 		SeqNo:  seq,
 		Batch:  batch,
@@ -588,7 +816,7 @@ func (r *Replica) sendEquivocalPrePrepare(seq uint64, batch []*Request) {
 func (r *Replica) getEntry(seq uint64) *logEntry {
 	e, ok := r.log[seq]
 	if !ok {
-		e = newLogEntry()
+		e = r.newEntry()
 		r.log[seq] = e
 	}
 	return e
@@ -626,9 +854,10 @@ func (r *Replica) onPrePrepare(from int, pp *PrePrepare) {
 		r.checkCommitted(pp.SeqNo, entry)
 		return
 	}
-	prep := &Prepare{View: pp.View, SeqNo: pp.SeqNo, Digest: pp.Digest, Replica: r.id}
+	prep := r.prepSlab.get()
+	*prep = Prepare{View: pp.View, SeqNo: pp.SeqNo, Digest: pp.Digest, Replica: r.id}
 	prep.Auth = r.authFor(fnv3(prep.View, prep.SeqNo, prep.Digest))
-	entry.prepares[r.id] = pp.Digest
+	entry.prepares.set(r.id, pp.Digest)
 	r.net.Broadcast(r.Addr(), r.replicaAddrs(), prep)
 	r.checkPrepared(pp.SeqNo, entry)
 	r.checkCommitted(pp.SeqNo, entry)
@@ -644,14 +873,10 @@ func (r *Replica) onPrePrepare(from int, pp *PrePrepare) {
 // the reset, otherwise a reordered delivery would permanently lose the
 // quorum.
 func (r *Replica) acceptPrePrepare(pp *PrePrepare, entry *logEntry) bool {
-	var keepPrepares, keepCommits map[int]uint64
 	if entry.view == pp.View {
-		keepPrepares, keepCommits = entry.prepares, entry.commits
-	}
-	entry.reset(pp.View)
-	if keepPrepares != nil {
-		entry.prepares = keepPrepares
-		entry.commits = keepCommits
+		entry.resetKeepVotes(pp.View)
+	} else {
+		entry.reset(pp.View)
 	}
 	entry.digest = pp.Digest
 	entry.prePrepare = pp
@@ -698,7 +923,7 @@ func (r *Replica) onPrepare(p *Prepare) {
 	} else if entry.view != p.View {
 		return
 	}
-	entry.prepares[p.Replica] = p.Digest
+	entry.prepares.set(p.Replica, p.Digest)
 	r.checkPrepared(p.SeqNo, entry)
 }
 
@@ -708,19 +933,14 @@ func (r *Replica) checkPrepared(seq uint64, entry *logEntry) {
 	if entry.prepared || entry.poisoned() || entry.prePrepare == nil {
 		return
 	}
-	matching := 0
-	for _, d := range entry.prepares {
-		if d == entry.digest {
-			matching++
-		}
-	}
-	if matching < r.cfg.prepareQuorum() {
+	if entry.prepares.countMatching(entry.digest) < r.cfg.prepareQuorum() {
 		return
 	}
 	entry.prepared = true
-	c := &Commit{View: entry.view, SeqNo: seq, Digest: entry.digest, Replica: r.id}
+	c := r.commitSlab.get()
+	*c = Commit{View: entry.view, SeqNo: seq, Digest: entry.digest, Replica: r.id}
 	c.Auth = r.authFor(fnv3(c.View, c.SeqNo, c.Digest))
-	entry.commits[r.id] = entry.digest
+	entry.commits.set(r.id, entry.digest)
 	r.net.Broadcast(r.Addr(), r.replicaAddrs(), c)
 	r.checkCommitted(seq, entry)
 }
@@ -741,7 +961,7 @@ func (r *Replica) onCommit(c *Commit) {
 	} else if entry.view != c.View {
 		return
 	}
-	entry.commits[c.Replica] = c.Digest
+	entry.commits.set(c.Replica, c.Digest)
 	r.checkCommitted(c.SeqNo, entry)
 }
 
@@ -757,13 +977,7 @@ func (r *Replica) checkCommitted(seq uint64, entry *logEntry) {
 	if !entry.prepared && !entry.poisoned() {
 		return
 	}
-	matching := 0
-	for _, d := range entry.commits {
-		if d == entry.digest {
-			matching++
-		}
-	}
-	if matching < r.cfg.commitQuorum() {
+	if entry.commits.countMatching(entry.digest) < r.cfg.commitQuorum() {
 		return
 	}
 	if entry.poisoned() {
@@ -795,31 +1009,35 @@ func (r *Replica) executeBatch(seq uint64, entry *logEntry) {
 		r.commitObserver(seq, entry.digest)
 	}
 	// Execution settles the entry: any unauthenticated copies are
-	// superseded by the commit quorum.
+	// superseded by the commit quorum. The map is empty outside
+	// MAC-corruption scenarios; skipping the per-request hashing there
+	// keeps clean execution off the map entirely.
 	entry.badIdx = nil
-	for _, req := range entry.batch {
-		delete(r.pendingBad, req.Key())
+	if len(r.pendingBad) > 0 {
+		for _, req := range entry.batch {
+			delete(r.pendingBad, req.Key())
+		}
 	}
 	for _, req := range entry.batch {
 		if req.IsNull() {
 			r.stats.NullsExecuted++
 			continue
 		}
-		if last, ok := r.lastReply[req.Client]; ok && last.Seq >= req.Seq {
+		if last := r.lastReplyFor(req.Client); last != nil && last.Seq >= req.Seq {
 			continue // duplicate, already executed
 		}
 		r.stateDigest = fnv3(r.stateDigest, req.Digest(), seq)
 		r.stats.RequestsExecuted++
-		reply := &Reply{
+		reply := r.replySlab.get()
+		*reply = Reply{
 			View:    r.view,
 			Replica: r.id,
 			Client:  req.Client,
 			Seq:     req.Seq,
 			Result:  r.stateDigest,
 		}
-		reply.Tag = mac.Sum(r.keyring.Pairwise(r.id, int(req.Client)), reply.digest())
-		r.lastReply[req.Client] = reply
-		delete(r.inFlight, req.Key())
+		reply.Tag = mac.Sum(r.clientKey(req.Client), reply.digest())
+		r.setLastReply(req.Client, reply)
 		if r.cfg.ExecTime > 0 {
 			reply := reply
 			r.eng.Schedule(r.cfg.ExecTime, func() {
@@ -855,6 +1073,9 @@ func (r *Replica) armRequestTimer(key RequestKey) {
 
 // onRequestExecuted updates timers when a request executes.
 func (r *Replica) onRequestExecuted(key RequestKey) {
+	if len(r.pendingForwarded) == 0 {
+		return
+	}
 	if _, wasPending := r.pendingForwarded[key]; !wasPending {
 		return
 	}
@@ -914,17 +1135,12 @@ func (r *Replica) recordCheckpoint(cp *Checkpoint) {
 	}
 	byReplica, ok := r.checkpoints[cp.SeqNo]
 	if !ok {
-		byReplica = make(map[int]uint64)
+		byReplica = r.newCkptSet()
 		r.checkpoints[cp.SeqNo] = byReplica
 	}
-	byReplica[cp.Replica] = cp.Digest
+	byReplica.set(cp.Replica, cp.Digest)
 	// Count agreement on the digest this checkpoint proposes.
-	matching := 0
-	for _, d := range byReplica {
-		if d == cp.Digest {
-			matching++
-		}
-	}
+	matching := byReplica.countMatching(cp.Digest)
 	// f+1 matching checkpoints form a weak certificate: at least one is
 	// from a correct replica, which suffices to fetch state when we have
 	// fallen behind (PBFT's state transfer).
@@ -946,13 +1162,15 @@ func (r *Replica) advanceWatermark(stable uint64) {
 		return
 	}
 	r.lowWater = stable
-	for seq := range r.log {
+	for seq, e := range r.log {
 		if seq <= stable {
+			r.freeEntry(e)
 			delete(r.log, seq)
 		}
 	}
-	for seq := range r.checkpoints {
+	for seq, cs := range r.checkpoints {
 		if seq < stable {
+			r.freeCkptSet(cs)
 			delete(r.checkpoints, seq)
 		}
 	}
@@ -984,7 +1202,7 @@ func (r *Replica) onSlowTick() {
 	}
 	if len(r.pending) > 0 {
 		req := r.pending[0]
-		r.pending = append([]*Request(nil), r.pending[1:]...)
+		r.pending = r.pending[1:]
 		if r.seqCounter+1 <= r.lowWater+r.cfg.WindowSize {
 			r.seqCounter++
 			r.sendPrePrepare(r.seqCounter, []*Request{req})

@@ -5,16 +5,37 @@ import (
 
 	"avd/internal/faultinject"
 	"avd/internal/sim"
-	"avd/internal/simnet"
 )
 
 // This file implements the SUT side of snapshot/fork execution
-// (DESIGN.md §8) for the PBFT deployment: replicas and clients capture
-// every mutable field they own and roll themselves back for each forked
-// test. Messages (requests, votes, replies, view changes) are immutable
-// once constructed, so captures share their pointers and only copy the
-// containers; sim.Timer handles survive restore because the engine
-// revalidates the arena generations they reference.
+// (DESIGN.md §8, §9) for the PBFT deployment: replicas and clients
+// capture every mutable field they own and roll themselves back for each
+// forked test. Messages (requests, votes, replies, view changes) are
+// immutable once constructed, so captures share their pointers and only
+// copy the containers; sim.Timer handles survive restore because the
+// engine revalidates the arena generations they reference.
+//
+// Restore is the per-fork hot path and is allocation-free in the steady
+// state: log entries and checkpoint vote sets come from the replica's
+// pools, vote sets copy as mask+slice, and the dense lastReply table
+// copies in place. Only view-change state and poisoned-slot bookkeeping
+// — both empty in a fault-neutral post-warmup capture — fall back to
+// allocating copies.
+
+// voteSnap is the captured form of a voteSet.
+type voteSnap struct {
+	mask    uint64
+	digests []uint64
+}
+
+func snapVotes(v *voteSet) voteSnap {
+	return voteSnap{mask: v.mask, digests: append([]uint64(nil), v.digests...)}
+}
+
+func (s voteSnap) restoreInto(v *voteSet) {
+	v.mask = s.mask
+	copy(v.digests, s.digests)
+}
 
 // entryState is the deep copy of one log entry's agreement state.
 type entryState struct {
@@ -24,8 +45,8 @@ type entryState struct {
 	batch      []*Request
 	prePrepare *PrePrepare
 	badIdx     map[int]bool
-	prepares   map[int]uint64
-	commits    map[int]uint64
+	prepares   voteSnap
+	commits    voteSnap
 	prepared   bool
 	committed  bool
 	executed   bool
@@ -45,11 +66,11 @@ type ReplicaState struct {
 	log        []entryState
 
 	pending    []*Request
-	inFlight   map[RequestKey]bool
+	admitted   []uint64
 	batchTimer sim.Timer
 	slowTimer  sim.Timer
 
-	lastReply map[simnet.Addr]*Reply
+	lastReply []*Reply
 
 	pendingForwarded map[RequestKey]forwarded
 	singleTimer      sim.Timer
@@ -57,8 +78,19 @@ type ReplicaState struct {
 
 	pendingBad map[RequestKey][]seqIdx
 
-	checkpoints map[uint64]map[int]uint64
+	checkpoints map[uint64]voteSnap
 	stateDigest uint64
+
+	// Slab rewind marks: everything the measurement window allocated
+	// above these positions is unreachable after Restore, so the slabs
+	// roll back and the next fork reuses the memory.
+	replyMark  slabMark
+	prepMark   slabMark
+	commitMark slabMark
+	ppMark     slabMark
+	fwMark     slabMark
+	fwdMsgMark slabMark
+	authMark   slabMark
 
 	viewChanges  map[uint64]map[int]*ViewChange
 	newViewTimer sim.Timer
@@ -82,20 +114,27 @@ func (r *Replica) Snapshot() *ReplicaState {
 		lowWater:         r.lowWater,
 		log:              make([]entryState, 0, len(r.log)),
 		pending:          append([]*Request(nil), r.pending...),
-		inFlight:         make(map[RequestKey]bool, len(r.inFlight)),
+		admitted:         append([]uint64(nil), r.admitted...),
 		batchTimer:       r.batchTimer,
 		slowTimer:        r.slowTimer,
-		lastReply:        make(map[simnet.Addr]*Reply, len(r.lastReply)),
+		lastReply:        append([]*Reply(nil), r.lastReply...),
 		pendingForwarded: make(map[RequestKey]forwarded, len(r.pendingForwarded)),
 		singleTimer:      r.singleTimer,
 		reqTimers:        make(map[RequestKey]sim.Timer, len(r.reqTimers)),
 		pendingBad:       make(map[RequestKey][]seqIdx, len(r.pendingBad)),
-		checkpoints:      make(map[uint64]map[int]uint64, len(r.checkpoints)),
+		checkpoints:      make(map[uint64]voteSnap, len(r.checkpoints)),
 		stateDigest:      r.stateDigest,
 		viewChanges:      make(map[uint64]map[int]*ViewChange, len(r.viewChanges)),
 		newViewTimer:     r.newViewTimer,
 		nvTimeout:        r.nvTimeout,
 		stats:            r.stats,
+		replyMark:        r.replySlab.mark(),
+		prepMark:         r.prepSlab.mark(),
+		commitMark:       r.commitSlab.mark(),
+		ppMark:           r.ppSlab.mark(),
+		fwMark:           r.fwSlab.mark(),
+		fwdMsgMark:       r.fwdMsgSlab.mark(),
+		authMark:         r.auths.mark(),
 	}
 	for seq, e := range r.log {
 		es := entryState{
@@ -104,8 +143,8 @@ func (r *Replica) Snapshot() *ReplicaState {
 			digest:     e.digest,
 			batch:      e.batch,
 			prePrepare: e.prePrepare,
-			prepares:   copyIntMap(e.prepares),
-			commits:    copyIntMap(e.commits),
+			prepares:   snapVotes(&e.prepares),
+			commits:    snapVotes(&e.commits),
 			prepared:   e.prepared,
 			committed:  e.committed,
 			executed:   e.executed,
@@ -118,12 +157,6 @@ func (r *Replica) Snapshot() *ReplicaState {
 		}
 		s.log = append(s.log, es)
 	}
-	for k, v := range r.inFlight {
-		s.inFlight[k] = v
-	}
-	for k, v := range r.lastReply {
-		s.lastReply[k] = v
-	}
 	for k, fw := range r.pendingForwarded {
 		s.pendingForwarded[k] = *fw
 	}
@@ -134,7 +167,7 @@ func (r *Replica) Snapshot() *ReplicaState {
 		s.pendingBad[k] = append([]seqIdx(nil), v...)
 	}
 	for seq, by := range r.checkpoints {
-		s.checkpoints[seq] = copyAddrDigestMap(by)
+		s.checkpoints[seq] = snapVotes(by)
 	}
 	for view, by := range r.viewChanges {
 		cp := make(map[int]*ViewChange, len(by))
@@ -148,6 +181,15 @@ func (r *Replica) Snapshot() *ReplicaState {
 
 // Restore rolls the replica back to the captured state.
 func (r *Replica) Restore(s *ReplicaState) {
+	// Rewind the object slabs first: the window's objects are garbage,
+	// and allocations below (forwarded copies) reuse their memory.
+	r.replySlab.rewind(s.replyMark)
+	r.prepSlab.rewind(s.prepMark)
+	r.commitSlab.rewind(s.commitMark)
+	r.ppSlab.rewind(s.ppMark)
+	r.fwSlab.rewind(s.fwMark)
+	r.fwdMsgSlab.rewind(s.fwdMsgMark)
+	r.auths.rewind(s.authMark)
 	r.crashed = s.crashed
 	r.crashReason = s.crashReason
 	r.view = s.view
@@ -156,19 +198,21 @@ func (r *Replica) Restore(s *ReplicaState) {
 	r.seqCounter = s.seqCounter
 	r.lastExec = s.lastExec
 	r.lowWater = s.lowWater
-	clear(r.log)
+	for seq, e := range r.log {
+		r.freeEntry(e)
+		delete(r.log, seq)
+	}
 	for _, es := range s.log {
-		e := &logEntry{
-			view:       es.view,
-			digest:     es.digest,
-			batch:      es.batch,
-			prePrepare: es.prePrepare,
-			prepares:   copyIntMap(es.prepares),
-			commits:    copyIntMap(es.commits),
-			prepared:   es.prepared,
-			committed:  es.committed,
-			executed:   es.executed,
-		}
+		e := r.newEntry()
+		e.view = es.view
+		e.digest = es.digest
+		e.batch = es.batch
+		e.prePrepare = es.prePrepare
+		es.prepares.restoreInto(&e.prepares)
+		es.commits.restoreInto(&e.commits)
+		e.prepared = es.prepared
+		e.committed = es.committed
+		e.executed = es.executed
 		if len(es.badIdx) > 0 {
 			e.badIdx = make(map[int]bool, len(es.badIdx))
 			for k, v := range es.badIdx {
@@ -178,33 +222,33 @@ func (r *Replica) Restore(s *ReplicaState) {
 		r.log[es.seq] = e
 	}
 	r.pending = append(r.pending[:0], s.pending...)
-	clear(r.inFlight)
-	for k, v := range s.inFlight {
-		r.inFlight[k] = v
-	}
+	r.admitted = append(r.admitted[:0], s.admitted...)
 	r.batchTimer = s.batchTimer
 	r.slowTimer = s.slowTimer
-	clear(r.lastReply)
-	for k, v := range s.lastReply {
-		r.lastReply[k] = v
-	}
+	r.lastReply = append(r.lastReply[:0], s.lastReply...)
 	clear(r.pendingForwarded)
 	for k, fw := range s.pendingForwarded {
-		cp := fw
-		r.pendingForwarded[k] = &cp
+		cp := r.fwSlab.get()
+		*cp = fw
+		r.pendingForwarded[k] = cp
 	}
 	r.singleTimer = s.singleTimer
 	clear(r.reqTimers)
 	for k, v := range s.reqTimers {
 		r.reqTimers[k] = v
 	}
-	r.pendingBad = make(map[RequestKey][]seqIdx, len(s.pendingBad))
+	clear(r.pendingBad)
 	for k, v := range s.pendingBad {
 		r.pendingBad[k] = append([]seqIdx(nil), v...)
 	}
-	clear(r.checkpoints)
+	for seq, cs := range r.checkpoints {
+		r.freeCkptSet(cs)
+		delete(r.checkpoints, seq)
+	}
 	for seq, by := range s.checkpoints {
-		r.checkpoints[seq] = copyAddrDigestMap(by)
+		cs := r.newCkptSet()
+		by.restoreInto(cs)
+		r.checkpoints[seq] = cs
 	}
 	clear(r.viewChanges)
 	for view, by := range s.viewChanges {
@@ -219,16 +263,6 @@ func (r *Replica) Restore(s *ReplicaState) {
 	r.stateDigest = s.stateDigest
 	r.stats = s.stats
 }
-
-func copyIntMap(m map[int]uint64) map[int]uint64 {
-	cp := make(map[int]uint64, len(m))
-	for k, v := range m {
-		cp[k] = v
-	}
-	return cp
-}
-
-func copyAddrDigestMap(m map[int]uint64) map[int]uint64 { return copyIntMap(m) }
 
 // ApplyByzantine (re-)activates the replica's ByzantineBehavior after
 // its fields were changed by the deployment harness: it fills in the
@@ -256,13 +290,16 @@ type ClientState struct {
 	curDone    bool
 	curDigest  uint64
 	sentAt     sim.Time
-	replies    map[int]uint64
+	replies    []uint64
+	repMask    uint64
 	retryTimer sim.Timer
 	curRetry   time.Duration
 	retryFor   uint64
 	broadcast  bool
 	counters   map[string]uint64
 	stats      ClientStats
+	reqMark    slabMark
+	authMark   slabMark
 }
 
 // Snapshot captures the client's complete mutable state, including its
@@ -276,29 +313,32 @@ func (c *Client) Snapshot() *ClientState {
 		curDone:    c.curDone,
 		curDigest:  c.curDigest,
 		sentAt:     c.sentAt,
-		replies:    copyIntMap(c.replies),
+		replies:    append([]uint64(nil), c.replies...),
+		repMask:    c.repMask,
 		retryTimer: c.retryTimer,
 		curRetry:   c.curRetry,
 		retryFor:   c.retryFor,
 		broadcast:  c.ccfg.Broadcast,
 		counters:   c.inj.CounterSnapshot(),
 		stats:      c.stats,
+		reqMark:    c.reqSlab.mark(),
+		authMark:   c.auths.mark(),
 	}
 	return s
 }
 
 // Restore rolls the client back to the captured state.
 func (c *Client) Restore(s *ClientState) {
+	c.reqSlab.rewind(s.reqMark)
+	c.auths.rewind(s.authMark)
 	c.running = s.running
 	c.view = s.view
 	c.seq = s.seq
 	c.curDone = s.curDone
 	c.curDigest = s.curDigest
 	c.sentAt = s.sentAt
-	clear(c.replies)
-	for k, v := range s.replies {
-		c.replies[k] = v
-	}
+	copy(c.replies, s.replies)
+	c.repMask = s.repMask
 	c.retryTimer = s.retryTimer
 	c.curRetry = s.curRetry
 	c.retryFor = s.retryFor

@@ -1,6 +1,7 @@
 package pbft
 
 import (
+	"math/bits"
 	"sort"
 
 	"avd/internal/simnet"
@@ -34,7 +35,7 @@ func (r *Replica) startViewChange(target uint64) {
 	r.batchTimer.Stop()
 	r.stopAllRequestTimers()
 	r.pending = nil
-	r.inFlight = make(map[RequestKey]bool)
+	clear(r.admitted) // dropped pending work may be re-admitted in the new view
 
 	vc := &ViewChange{
 		NewView:    target,
@@ -64,7 +65,11 @@ func (r *Replica) preparedProofs() []PreparedProof {
 			continue
 		}
 		var prepares []*Prepare
-		for rep, d := range e.prepares {
+		m := e.prepares.mask
+		for m != 0 {
+			rep := bits.TrailingZeros64(m)
+			m &= m - 1
+			d := e.prepares.digests[rep]
 			if d != e.digest || rep == r.id && r.cfg.PrimaryOf(e.view) == r.id {
 				continue
 			}
@@ -298,7 +303,7 @@ func (r *Replica) onNewView(from int, nv *NewView) {
 		entry.prePrepare = pp
 		prep := &Prepare{View: nv.View, SeqNo: pp.SeqNo, Digest: pp.Digest, Replica: r.id}
 		prep.Auth = r.authFor(fnv3(prep.View, prep.SeqNo, prep.Digest))
-		entry.prepares[r.id] = pp.Digest
+		entry.prepares.set(r.id, pp.Digest)
 		r.net.Broadcast(r.Addr(), r.replicaAddrs(), prep)
 		r.checkPrepared(pp.SeqNo, entry)
 	}
@@ -325,16 +330,17 @@ func (r *Replica) enterView(target uint64) {
 		if e.executed || e.view >= target {
 			continue
 		}
+		r.freeEntry(e)
 		delete(r.log, seq)
 	}
 	// Poisoned-slot bookkeeping refers to entries we just dropped; the
 	// new view's re-proposals rebuild it.
-	r.pendingBad = make(map[RequestKey][]seqIdx)
+	clear(r.pendingBad)
 	// Re-forward pending direct requests to the new primary and re-arm
 	// their timers (PBFT restarts the request timers in the new view).
 	primary := r.cfg.PrimaryOf(target)
 	for key, fw := range r.pendingForwarded {
-		if last, ok := r.lastReply[fw.req.Client]; ok && last.Seq >= fw.req.Seq {
+		if last := r.lastReplyFor(fw.req.Client); last != nil && last.Seq >= fw.req.Seq {
 			delete(r.pendingForwarded, key)
 			continue
 		}

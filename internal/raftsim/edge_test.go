@@ -130,7 +130,7 @@ func TestEdgeCases(t *testing.T) {
 		// splits several consecutive rounds before electing a leader.
 		cfg.ElectionTimeoutMin = 150 * time.Millisecond
 		cfg.ElectionTimeoutMax = 151 * time.Millisecond
-		c := newEdgeCluster(t, cfg, 11)
+		c := newEdgeCluster(t, cfg, 2)
 		c.start()
 		c.eng.RunFor(3 * time.Second)
 

@@ -73,6 +73,10 @@ type Runner struct {
 	w         Workload
 	baselines core.BaselineCache
 
+	// phases accumulates the campaign time decomposition
+	// (warmup/baseline/fork/run/analyze) that cmd/bench reports.
+	phases core.PhaseTimes
+
 	// masters caches warm deployments per client count for the
 	// snapshot/fork execution path (see cluster.Runner.masters): the
 	// leader-flap attacker is purely network-level and arms at
@@ -160,6 +164,8 @@ func (r *Runner) runScored(sc scenario.Scenario, fork bool, rec *oracle.Recorder
 		res, rep = r.execute(sc, clients, true, extra...)
 	}
 	baseline := r.Baseline(clients)
+	analyzeStart := time.Now()
+	defer func() { r.phases.AddAnalyze(time.Since(analyzeStart)) }()
 	res.BaselineThroughput = baseline
 	if baseline > 0 {
 		tputImpact := 1 - res.Throughput/baseline
@@ -189,6 +195,8 @@ func (r *Runner) Baseline(clients int64) float64 {
 }
 
 func (r *Runner) measureBaseline(clients int64) float64 {
+	start := time.Now()
+	defer func() { r.phases.AddBaseline(time.Since(start)) }()
 	empty := scenario.MustNewSpace(scenario.Dimension{
 		Name: DimClients, Min: clients, Max: clients, Step: 1,
 	}).New(nil)
@@ -209,6 +217,32 @@ func (r *Runner) Warm(batch []scenario.Scenario) {
 	}
 	r.baselines.Warm(counts, r.measureBaseline)
 }
+
+var _ core.Preparer = (*Runner)(nil)
+
+// Prepare implements core.Preparer (see cluster.Runner.Prepare): builds,
+// warms and captures the scenario's per-count master ahead of its run
+// and measures the baseline, result-neutrally, so the pipelined campaign
+// executor can overlap population builds with measurements.
+func (r *Runner) Prepare(sc scenario.Scenario) {
+	clients := sc.GetOr(DimClients, 10)
+	r.masters.Prepare(clients, func() *deployment {
+		start := time.Now()
+		d := r.newDeployment(clients)
+		d.eng.RunFor(r.w.Warmup)
+		r.phases.AddWarmup(time.Since(start))
+		forkStart := time.Now()
+		d.capture()
+		r.phases.AddFork(time.Since(forkStart))
+		return d
+	})
+	r.Baseline(clients)
+}
+
+// Phases returns the accumulated campaign-phase breakdown (see
+// core.PhaseTimes). The accumulators live for the Runner's lifetime;
+// cmd/bench isolates campaigns by constructing a fresh target per run.
+func (r *Runner) Phases() core.PhaseBreakdown { return r.phases.Breakdown() }
 
 // leaderFlap is the network-level attacker of the LeaderFlap plugin: on
 // every interval tick it finds the node currently acting as leader and
@@ -282,18 +316,25 @@ func (r *Runner) execute(sc scenario.Scenario, clients int64, withFaults bool, e
 // the client count.
 func (r *Runner) executeFork(sc scenario.Scenario, clients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
 	d := r.masters.Acquire(clients, func() *deployment {
+		start := time.Now()
+		defer func() { r.phases.AddWarmup(time.Since(start)) }()
 		d := r.newDeployment(clients)
 		d.eng.RunFor(r.w.Warmup)
 		return d
 	})
 	defer r.masters.Release(clients, d)
+	forkStart := time.Now()
 	if d.snap == nil {
 		d.capture()
 	} else {
 		d.restore()
 	}
 	d.arm(sc, withFaults, extra...)
-	return d.measure(sc)
+	r.phases.AddFork(time.Since(forkStart))
+	runStart := time.Now()
+	res, rep := d.measure(sc)
+	r.phases.AddRun(time.Since(runStart))
+	return res, rep
 }
 
 // EntryDigest is the committed-value identity the oracles compare across

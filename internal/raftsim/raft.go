@@ -15,6 +15,7 @@ package raftsim
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"avd/internal/sim"
@@ -57,6 +58,10 @@ func (c Config) Validate() error {
 	if c.N < 1 {
 		return fmt.Errorf("raftsim: cluster size %d needs at least 1 node", c.N)
 	}
+	if c.N > 64 {
+		// Vote tallies are kept in a 64-bit presence mask.
+		return fmt.Errorf("raftsim: cluster size %d exceeds the supported maximum of 64", c.N)
+	}
 	if c.HeartbeatInterval <= 0 {
 		return fmt.Errorf("raftsim: heartbeat interval must be positive")
 	}
@@ -69,6 +74,24 @@ func (c Config) Validate() error {
 			c.ElectionTimeoutMax, c.ElectionTimeoutMin)
 	}
 	return nil
+}
+
+// seqAt reads a dense per-client sequence table (zero when the client
+// has no entry yet).
+func seqAt(s []uint64, a simnet.Addr) uint64 {
+	if int(a) < len(s) {
+		return s[a]
+	}
+	return 0
+}
+
+// seqPut writes a dense per-client sequence table, growing it on first
+// contact with a client address.
+func seqPut(s *[]uint64, a simnet.Addr, v uint64) {
+	for int(a) >= len(*s) {
+		*s = append(*s, 0)
+	}
+	(*s)[a] = v
 }
 
 // Entry is one replicated log entry: a client request awaiting
@@ -173,7 +196,9 @@ type Node struct {
 	commit   uint64
 	applied  uint64
 
-	votes      map[int]bool
+	// votes is the ballot box for the node's current candidacy, a dense
+	// presence mask over node ids (Config.Validate bounds N at 64).
+	votes      uint64
 	nextIndex  []uint64
 	matchIndex []uint64
 
@@ -183,11 +208,13 @@ type Node struct {
 	heartbeatFn    func()
 
 	// lastSeq deduplicates client requests at apply time: retransmitted
-	// requests re-enter the log but mutate the state machine once.
-	lastSeq map[simnet.Addr]uint64
+	// requests re-enter the log but mutate the state machine once. Client
+	// addresses are small and dense, so both tables are slices indexed by
+	// address (the lookups run per applied entry and per client request).
+	lastSeq []uint64
 	// pending tracks the highest uncommitted seq appended per client, so
 	// a retransmission of an in-flight request is not appended twice.
-	pending map[simnet.Addr]uint64
+	pending []uint64
 
 	// Oracle observers, invoked on the simulation goroutine: onLead when
 	// the node assumes leadership for a term, onApply for every log
@@ -223,15 +250,14 @@ func NewNode(id int, cfg Config, net *simnet.Network, opts ...NodeOption) (*Node
 		return nil, fmt.Errorf("raftsim: node id %d out of range [0,%d)", id, cfg.N)
 	}
 	n := &Node{
-		id:       id,
-		cfg:      cfg,
-		eng:      net.Engine(),
-		net:      net,
-		votedFor: -1,
-		leader:   -1,
-		votes:    make(map[int]bool),
-		lastSeq:  make(map[simnet.Addr]uint64),
-		pending:  make(map[simnet.Addr]uint64),
+		id:         id,
+		cfg:        cfg,
+		eng:        net.Engine(),
+		net:        net,
+		votedFor:   -1,
+		leader:     -1,
+		nextIndex:  make([]uint64, cfg.N),
+		matchIndex: make([]uint64, cfg.N),
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -312,8 +338,7 @@ func (n *Node) onElectionTimeout() {
 	n.votedFor = n.id
 	n.leader = -1
 	n.stats.ElectionsStarted++
-	clear(n.votes)
-	n.votes[n.id] = true
+	n.votes = 1 << uint(n.id)
 	lastIdx, lastTerm := n.lastLog()
 	rv := &RequestVote{Term: n.term, Candidate: n.id, LastLogIndex: lastIdx, LastLogTerm: lastTerm}
 	for peer := 0; peer < n.cfg.N; peer++ {
@@ -323,7 +348,7 @@ func (n *Node) onElectionTimeout() {
 	}
 	n.resetElectionTimer()
 	// A single-node cluster is its own majority.
-	if len(n.votes) >= n.cfg.N/2+1 {
+	if bits.OnesCount64(n.votes) >= n.cfg.N/2+1 {
 		n.becomeLeader()
 	}
 }
@@ -336,10 +361,9 @@ func (n *Node) becomeLeader() {
 		n.onLead(n.term)
 	}
 	lastIdx, _ := n.lastLog()
-	n.nextIndex = make([]uint64, n.cfg.N)
-	n.matchIndex = make([]uint64, n.cfg.N)
 	for i := range n.nextIndex {
 		n.nextIndex[i] = lastIdx + 1
+		n.matchIndex[i] = 0
 	}
 	n.matchIndex[n.id] = lastIdx
 	clear(n.pending)
@@ -434,8 +458,8 @@ func (n *Node) onRequestVoteReply(m *RequestVoteReply) {
 	if n.role != candidate || m.Term != n.term || !m.Granted {
 		return
 	}
-	n.votes[m.From] = true
-	if len(n.votes) >= n.cfg.N/2+1 {
+	n.votes |= 1 << uint(m.From)
+	if bits.OnesCount64(n.votes) >= n.cfg.N/2+1 {
 		n.becomeLeader()
 	}
 }
@@ -539,11 +563,13 @@ func (n *Node) applyCommitted() {
 		if n.onApply != nil {
 			n.onApply(n.applied, e)
 		}
-		if e.Seq > n.lastSeq[e.Client] {
-			n.lastSeq[e.Client] = e.Seq
+		if e.Seq > seqAt(n.lastSeq, e.Client) {
+			seqPut(&n.lastSeq, e.Client, e.Seq)
 			n.stats.EntriesApplied++
 		}
-		delete(n.pending, e.Client)
+		if int(e.Client) < len(n.pending) {
+			n.pending[e.Client] = 0
+		}
 		if n.role == leader {
 			n.net.Send(simnet.Addr(n.id), e.Client, &ClientReply{Seq: e.Seq, OK: true, Leader: n.id})
 		}
@@ -557,15 +583,15 @@ func (n *Node) onClientRequest(m *ClientRequest) {
 		return
 	}
 	// Already applied (a late retransmission): answer immediately.
-	if m.Seq <= n.lastSeq[m.Client] {
+	if m.Seq <= seqAt(n.lastSeq, m.Client) {
 		n.net.Send(simnet.Addr(n.id), m.Client, &ClientReply{Seq: m.Seq, OK: true, Leader: n.id})
 		return
 	}
 	// Already in flight: the apply path will answer.
-	if m.Seq <= n.pending[m.Client] {
+	if m.Seq <= seqAt(n.pending, m.Client) {
 		return
 	}
-	n.pending[m.Client] = m.Seq
+	seqPut(&n.pending, m.Client, m.Seq)
 	n.log = append(n.log, Entry{Term: n.term, Client: m.Client, Seq: m.Seq})
 	n.matchIndex[n.id] = uint64(len(n.log))
 	// A single-node cluster is its own majority: without peers there are

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"avd/internal/sim"
-	"avd/internal/simnet"
 )
 
 // This file implements the SUT side of snapshot/fork execution
@@ -23,15 +22,15 @@ type NodeState struct {
 	log        []Entry
 	commit     uint64
 	applied    uint64
-	votes      map[int]bool
+	votes      uint64
 	nextIndex  []uint64
 	matchIndex []uint64
 
 	electionTimer  sim.Timer
 	heartbeatTimer sim.Timer
 
-	lastSeq map[simnet.Addr]uint64
-	pending map[simnet.Addr]uint64
+	lastSeq []uint64
+	pending []uint64
 
 	stats NodeStats
 }
@@ -46,23 +45,14 @@ func (n *Node) Snapshot() *NodeState {
 		log:            append([]Entry(nil), n.log...),
 		commit:         n.commit,
 		applied:        n.applied,
-		votes:          make(map[int]bool, len(n.votes)),
+		votes:          n.votes,
 		nextIndex:      append([]uint64(nil), n.nextIndex...),
 		matchIndex:     append([]uint64(nil), n.matchIndex...),
 		electionTimer:  n.electionTimer,
 		heartbeatTimer: n.heartbeatTimer,
-		lastSeq:        make(map[simnet.Addr]uint64, len(n.lastSeq)),
-		pending:        make(map[simnet.Addr]uint64, len(n.pending)),
+		lastSeq:        append([]uint64(nil), n.lastSeq...),
+		pending:        append([]uint64(nil), n.pending...),
 		stats:          n.stats,
-	}
-	for k, v := range n.votes {
-		s.votes[k] = v
-	}
-	for k, v := range n.lastSeq {
-		s.lastSeq[k] = v
-	}
-	for k, v := range n.pending {
-		s.pending[k] = v
 	}
 	return s
 }
@@ -76,22 +66,13 @@ func (n *Node) Restore(s *NodeState) {
 	n.log = append(n.log[:0], s.log...)
 	n.commit = s.commit
 	n.applied = s.applied
-	clear(n.votes)
-	for k, v := range s.votes {
-		n.votes[k] = v
-	}
+	n.votes = s.votes
 	n.nextIndex = append(n.nextIndex[:0], s.nextIndex...)
 	n.matchIndex = append(n.matchIndex[:0], s.matchIndex...)
 	n.electionTimer = s.electionTimer
 	n.heartbeatTimer = s.heartbeatTimer
-	clear(n.lastSeq)
-	for k, v := range s.lastSeq {
-		n.lastSeq[k] = v
-	}
-	clear(n.pending)
-	for k, v := range s.pending {
-		n.pending[k] = v
-	}
+	n.lastSeq = append(n.lastSeq[:0], s.lastSeq...)
+	n.pending = append(n.pending[:0], s.pending...)
 	n.stats = s.stats
 }
 

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRestoreAllocFree pins the allocation cost of the delta-restore hot
+// path: once lane buffers, the dirty list and the free list have reached
+// steady-state capacity, a run/restore cycle must not allocate. This is
+// the guard for the regression ISSUE 5 fixed — Restore used to rebuild
+// every lane buffer with append([]node(nil), ...) per fork.
+func TestRestoreAllocFree(t *testing.T) {
+	e := New(1)
+	// A recurring-delay workload hot enough to promote lanes, plus
+	// randomized one-shot timers that stay on the heap, plus timer churn
+	// (cancel + re-arm) to exercise the tombstone paths.
+	var tick func()
+	var churn Timer
+	tick = func() {
+		e.Schedule(time.Millisecond, tick)
+		churn.Stop()
+		churn = e.Schedule(5*time.Millisecond, func() {})
+		e.Schedule(time.Duration(e.Rand().Int63n(int64(3*time.Millisecond))), func() {})
+	}
+	for i := 0; i < 4; i++ {
+		e.Schedule(time.Millisecond, tick)
+	}
+	e.RunFor(300 * time.Millisecond)
+
+	s := e.Snapshot()
+	cycle := func() {
+		e.RunFor(100 * time.Millisecond)
+		e.Restore(s)
+	}
+	// Warm the pools: the first cycles may grow lane buffers, the dirty
+	// list and the free list to their high-water marks.
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(10, cycle); allocs > 0 {
+		t.Fatalf("run+restore cycle allocates %.1f objects per fork; want 0", allocs)
+	}
+}
+
+// TestRestoreDeltaMatchesFull cross-checks the delta path against the
+// full-copy path: running from a delta restore and from a full restore
+// (forced by restoring an older snapshot first) produces the same
+// executed-event counts and clock.
+func TestRestoreDeltaMatchesFull(t *testing.T) {
+	run := func(forceFull bool) (uint64, Time) {
+		e := New(42)
+		var tick func()
+		tick = func() {
+			e.Schedule(2*time.Millisecond, tick)
+			e.Schedule(time.Duration(e.Rand().Int63n(int64(time.Millisecond))), func() {})
+		}
+		e.Schedule(time.Millisecond, tick)
+		e.RunFor(50 * time.Millisecond)
+		old := e.Snapshot()
+		s := e.Snapshot()
+		for i := 0; i < 5; i++ {
+			e.RunFor(20 * time.Millisecond)
+			if forceFull {
+				// Restoring the non-tracked snapshot forces the
+				// full-copy path; it captures identical state, so the
+				// outcome must match the delta path exactly.
+				e.Restore(old)
+			} else {
+				e.Restore(s)
+			}
+		}
+		e.RunFor(20 * time.Millisecond)
+		return e.Executed(), e.Now()
+	}
+	dExec, dNow := run(false)
+	fExec, fNow := run(true)
+	if dExec != fExec || dNow != fNow {
+		t.Fatalf("delta path (exec %d, now %v) diverges from full path (exec %d, now %v)",
+			dExec, dNow, fExec, fNow)
+	}
+}

@@ -15,7 +15,9 @@
 // simulation never touch the garbage collector's write barrier (the heap
 // was the single hottest site of a full-throughput deployment before this
 // layout). The arena is also what makes Snapshot/Restore cheap: capturing
-// the entire engine state is three slice copies (DESIGN.md §8).
+// the entire engine state is three slice copies, and restoring is a
+// delta — only the slots dirtied since the capture copy back
+// (DESIGN.md §8, §9).
 package sim
 
 import (
@@ -78,7 +80,9 @@ func (t Timer) ev() *event {
 // queue immediately (retransmission-heavy workloads cancel and re-arm a
 // timer per request, and tombstones were measurably inflating the
 // queue); lane-resident events are canceled in place and collected when
-// their FIFO drains past them, which is at most one lane period away. It
+// their FIFO drains past them, which is at most one lane period away —
+// except the lane head, which is pruned immediately so the dispatcher
+// never has to consult the arena for cancellation (see minPending). It
 // reports whether the call prevented the callback from firing (false if
 // it already fired or was already stopped).
 func (t Timer) Stop() bool {
@@ -87,8 +91,16 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	t.eng.live--
-	if ev.pos == laneResident {
+	if ev.pos < 0 {
+		ln := t.eng.lanes[-ev.pos-1]
+		if ln.head < len(ln.buf) && ln.buf[ln.head].idx == t.idx {
+			t.eng.recycle(t.idx)
+			t.eng.advanceLane(ln)
+			return true
+		}
 		ev.canceled = true
+		ln.tombs++
+		t.eng.mark(t.idx)
 		return true
 	}
 	t.eng.remove(t.idx)
@@ -116,9 +128,15 @@ func (t Timer) When() Time {
 type event struct {
 	at  Time
 	gen uint64 // bumped on recycle; validates Timer handles
-	// pos is the event's index in the heap, or laneResident for events
-	// queued in a FIFO lane (lane members are canceled in place and
-	// collected when their lane drains past them).
+	// touched is the dirty-tracking watermark: the engine's dirtySeq value
+	// as of the last mutation of this slot. A slot whose watermark matches
+	// the current dirtySeq is already on the dirty list, so delta Restore
+	// copies it back exactly once (see Engine.mark).
+	touched uint64
+	// pos is the event's index in the heap, or -(laneIdx+1) for events
+	// queued in FIFO lane laneIdx (lane members are canceled in place and
+	// collected when their lane drains past them; a canceled head is
+	// pruned immediately).
 	pos      int32
 	canceled bool
 	fn       func()
@@ -126,8 +144,10 @@ type event struct {
 	arg      any
 }
 
-// laneResident marks an event queued in a FIFO lane instead of the heap.
-const laneResident int32 = -1
+// lanePos encodes lane residency in an event's pos field: lane i's
+// members carry -(i+1), so any negative pos means "in a lane" and names
+// which one.
+func lanePos(laneIdx int) int32 { return int32(-laneIdx - 1) }
 
 // node is one priority-queue entry: pointer-free by design, so heap
 // sifts compile to plain word moves with no write barriers.
@@ -168,6 +188,10 @@ type lane struct {
 	buf    []node
 	head   int
 	lastAt Time // at of the newest member; appends must not precede it
+	// tombs counts canceled members still buffered. Lanes carrying
+	// never-canceled streams (message deliveries, heartbeats) stay at
+	// zero, which lets advanceLane skip the arena lookup entirely.
+	tombs int
 }
 
 // Lane tuning: more lanes cost every dispatch a comparison, so only
@@ -183,51 +207,76 @@ const (
 // also the goroutine on which event callbacks execute.
 type Engine struct {
 	now       Time
-	heap      []node  // 4-ary min-heap by (at, seq), for irregular delays
-	lanes     []*lane // FIFO fast paths for recurring delays
-	laneFor   map[Time]*lane
+	heap      []node          // 4-ary min-heap by (at, seq), for irregular delays
+	lanes     []*lane         // FIFO fast paths for recurring delays (≤ maxLanes, scanned linearly)
 	delayHits map[Time]uint32 // lane-promotion counters
 	arena     []event         // slot storage; queue nodes and Timers index into it
 	free      []int32         // recycled arena slots
 	live      int             // pending events (canceled lane members excluded)
 	seq       uint64
 	seed      int64
-	src       *trackedSource
+	src       *splitmixSource
 	rng       *rand.Rand
 	stopped   bool
+
+	// Dirty tracking for delta Restore: track is the snapshot deltas are
+	// recorded against (nil disables tracking entirely — engines that
+	// never snapshot pay a single predictable branch per schedule), dirty
+	// lists the arena slots mutated since the last Snapshot/Restore, and
+	// dirtySeq is the watermark that keeps the list duplicate-free.
+	track    *Snapshot
+	dirty    []int32
+	dirtySeq uint64
 
 	// Executed counts events that have fired, for diagnostics and tests.
 	executed uint64
 }
 
-// trackedSource wraps the standard library source, counting state
-// advances so a Snapshot can record the stream position and Restore can
-// re-derive the exact mid-stream state by re-seeding and fast-forwarding.
-// The emitted sequence is bit-identical to rand.NewSource's.
-type trackedSource struct {
-	src   rand.Source64
-	steps uint64
+// splitmixSource is the engine's random source: splitmix64, whose entire
+// state is one word. Snapshot captures the word and Restore copies it
+// back, so rolling the random stream back is O(1) instead of re-seeding
+// and replaying the stream position O(taps). The generator passes the
+// usual statistical batteries and is faster per tap than the stdlib
+// rngSource; it is not the stdlib stream, so traces differ from
+// pre-splitmix builds of this repository (golden fixtures were
+// regenerated once, see DESIGN.md §9).
+type splitmixSource struct {
+	state uint64
 }
 
-func (t *trackedSource) Int63() int64 { t.steps++; return t.src.Int63() }
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
-// Uint64 advances the underlying generator by one step, exactly like
-// Int63 (the stdlib source exposes the same state word both ways), so
-// replaying a stream position with Int63 taps reproduces it.
-func (t *trackedSource) Uint64() uint64 { t.steps++; return t.src.Uint64() }
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
 
-func (t *trackedSource) Seed(seed int64) { t.steps = 0; t.src.Seed(seed) }
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
 
 // New returns an engine whose randomness derives entirely from seed.
 func New(seed int64) *Engine {
-	src := &trackedSource{src: rand.NewSource(seed).(rand.Source64)}
+	src := &splitmixSource{state: uint64(seed)}
 	return &Engine{
 		seed:      seed,
 		src:       src,
 		rng:       rand.New(src),
-		laneFor:   make(map[Time]*lane),
 		delayHits: make(map[Time]uint32),
 	}
+}
+
+// laneOf finds the lane carrying delta, nil when none. A linear scan
+// over at most maxLanes delays beats the map this used to be: the lookup
+// runs once per schedule.
+func (e *Engine) laneOf(delta Time) (int, *lane) {
+	for i, ln := range e.lanes {
+		if ln.delay == delta {
+			return i, ln
+		}
+	}
+	return -1, nil
 }
 
 // Now returns the current virtual time.
@@ -283,19 +332,23 @@ func (e *Engine) schedule(t Time, fn func(), call func(any), arg any) Timer {
 	ev := &e.arena[idx]
 	ev.at, ev.canceled = t, false
 	ev.fn, ev.call, ev.arg = fn, call, arg
+	if e.track != nil && ev.touched != e.dirtySeq {
+		ev.touched = e.dirtySeq
+		e.dirty = append(e.dirty, idx)
+	}
 	nd := node{at: t, seq: e.seq, idx: idx}
 	e.seq++
 	e.live++
 	delta := t - e.now
-	if ln := e.laneFor[delta]; ln != nil && (ln.head == len(ln.buf) || t >= ln.lastAt) {
+	if li, ln := e.laneOf(delta); ln != nil && (ln.head == len(ln.buf) || t >= ln.lastAt) {
 		ln.buf = append(ln.buf, nd)
 		ln.lastAt = t
-		ev.pos = laneResident
+		ev.pos = lanePos(li)
 	} else if ln == nil && e.promote(delta, t) != nil {
-		ln := e.laneFor[delta]
+		ln := e.lanes[len(e.lanes)-1]
 		ln.buf = append(ln.buf, nd)
 		ln.lastAt = t
-		ev.pos = laneResident
+		ev.pos = lanePos(len(e.lanes) - 1)
 	} else {
 		e.push(nd)
 	}
@@ -322,8 +375,21 @@ func (e *Engine) promote(delta Time, t Time) *lane {
 	delete(e.delayHits, delta)
 	ln := &lane{delay: delta, lastAt: t}
 	e.lanes = append(e.lanes, ln)
-	e.laneFor[delta] = ln
 	return ln
+}
+
+// mark records a slot mutation for delta Restore; it is a no-op while no
+// snapshot is being tracked, and each slot enters the dirty list at most
+// once per tracking window.
+func (e *Engine) mark(idx int32) {
+	if e.track == nil {
+		return
+	}
+	ev := &e.arena[idx]
+	if ev.touched != e.dirtySeq {
+		ev.touched = e.dirtySeq
+		e.dirty = append(e.dirty, idx)
+	}
 }
 
 // recycle returns an arena slot to the free list, invalidating every
@@ -332,28 +398,28 @@ func (e *Engine) recycle(idx int32) {
 	ev := &e.arena[idx]
 	ev.gen++
 	ev.fn, ev.call, ev.arg = nil, nil, nil
+	if e.track != nil && ev.touched != e.dirtySeq {
+		ev.touched = e.dirtySeq
+		e.dirty = append(e.dirty, idx)
+	}
 	e.free = append(e.free, idx)
 }
 
 // minPending locates the (at, seq)-minimum pending event across the
-// heap root and every lane head, pruning canceled lane members it
-// passes. src is the lane index, or -1 for the heap.
+// heap root and every lane head. Lane heads are live by invariant — a
+// canceled head is pruned at Stop time and advanceLane skips tombstones
+// — so the scan never touches the arena. src is the lane index, or -1
+// for the heap.
 func (e *Engine) minPending() (nd node, src int, ok bool) {
 	src = -1
 	if len(e.heap) > 0 {
 		nd, ok = e.heap[0], true
 	}
 	for i, ln := range e.lanes {
-		for ln.head < len(ln.buf) {
-			cand := ln.buf[ln.head]
-			if !e.arena[cand.idx].canceled {
-				if !ok || less(cand, nd) {
-					nd, src, ok = cand, i, true
-				}
-				break
+		if ln.head < len(ln.buf) {
+			if cand := ln.buf[ln.head]; !ok || less(cand, nd) {
+				nd, src, ok = cand, i, true
 			}
-			e.recycle(cand.idx)
-			ln.advance()
 		}
 	}
 	return nd, src, ok
@@ -365,7 +431,23 @@ func (e *Engine) take(src int) {
 		e.pop()
 		return
 	}
-	e.lanes[src].advance()
+	e.advanceLane(e.lanes[src])
+}
+
+// advanceLane consumes the lane head, then prunes canceled successors so
+// the next head is live again (the invariant minPending relies on). With
+// no tombstones buffered the arena is never consulted.
+func (e *Engine) advanceLane(ln *lane) {
+	ln.advance()
+	for ln.tombs > 0 && ln.head < len(ln.buf) {
+		cand := ln.buf[ln.head]
+		if !e.arena[cand.idx].canceled {
+			return
+		}
+		e.recycle(cand.idx)
+		ln.tombs--
+		ln.advance()
+	}
 }
 
 // advance consumes the lane head, compacting the drained prefix so the
@@ -545,7 +627,7 @@ func (e *Engine) remove(idx int32) {
 
 // Snapshot is a restorable capture of the engine's complete state: clock,
 // event queue, arena (including pending callbacks), free list, insertion
-// sequence and the random stream position. It is bound to the engine that
+// sequence and the random stream state. It is bound to the engine that
 // produced it: pending callbacks are closures over that engine's
 // simulation objects, so restoring rolls the same simulation back rather
 // than cloning it onto another.
@@ -555,7 +637,7 @@ type Snapshot struct {
 	seq      uint64
 	executed uint64
 	live     int
-	steps    uint64
+	rngState uint64
 	heap     []node
 	lanes    []laneSnap
 	arena    []event
@@ -572,11 +654,14 @@ type laneSnap struct {
 	delay  Time
 	lastAt Time
 	buf    []node
+	tombs  int
 }
 
-// Snapshot captures the engine state. The capture does not perturb the
-// simulation: a run that continues from here is identical to one that
-// never snapshotted.
+// Snapshot captures the engine state and arms delta tracking: until the
+// next Snapshot, the engine records which arena slots are mutated, so
+// restoring this snapshot copies back only the touched slots instead of
+// the whole arena. The capture does not perturb the simulation: a run
+// that continues from here is identical to one that never snapshotted.
 func (e *Engine) Snapshot() *Snapshot {
 	s := &Snapshot{
 		owner:    e,
@@ -584,7 +669,7 @@ func (e *Engine) Snapshot() *Snapshot {
 		seq:      e.seq,
 		executed: e.executed,
 		live:     e.live,
-		steps:    e.src.steps,
+		rngState: e.src.state,
 		heap:     append([]node(nil), e.heap...),
 		arena:    append([]event(nil), e.arena...),
 		free:     append([]int32(nil), e.free...),
@@ -594,6 +679,7 @@ func (e *Engine) Snapshot() *Snapshot {
 			delay:  ln.delay,
 			lastAt: ln.lastAt,
 			buf:    append([]node(nil), ln.buf[ln.head:]...),
+			tombs:  ln.tombs,
 		})
 	}
 	// Detach pooled args: the live object will be recycled and rewritten
@@ -616,6 +702,9 @@ func (e *Engine) Snapshot() *Snapshot {
 			detach(nd)
 		}
 	}
+	e.track = s
+	e.dirtySeq++
+	e.dirty = e.dirty[:0]
 	return s
 }
 
@@ -623,50 +712,88 @@ func (e *Engine) Snapshot() *Snapshot {
 // taken before the snapshot become valid again (their generation is part
 // of the captured arena); handles created after it go inert. Restore
 // panics if the snapshot belongs to a different engine.
+//
+// Restoring the tracked snapshot (the most recent one) is a delta
+// operation: only arena slots dirtied since the last Snapshot/Restore
+// are copied back, lane buffers rewind in place, and the random stream
+// state is a single word copy. Restoring an older snapshot falls back to
+// a full-state copy and re-arms tracking against that snapshot.
 func (e *Engine) Restore(s *Snapshot) {
 	if s.owner != e {
 		panic("sim: snapshot restored into a different engine")
 	}
 	e.now, e.seq, e.executed, e.stopped = s.now, s.seq, s.executed, false
 	e.live = s.live
-	e.heap = append(e.heap[:0], s.heap...)
-	e.lanes = e.lanes[:0]
-	clear(e.laneFor)
-	for _, ls := range s.lanes {
-		ln := &lane{
-			delay:  ls.delay,
-			lastAt: ls.lastAt,
-			buf:    append([]node(nil), ls.buf...),
+
+	if s == e.track {
+		// Delta path: copy back exactly the slots mutated since the last
+		// restore. Slots grown past the snapshot arena are invalidated;
+		// untouched grown slots were already invalidated by the previous
+		// restore and need no work.
+		for _, idx := range e.dirty {
+			if int(idx) < len(s.arena) {
+				e.arena[idx] = s.arena[idx]
+			} else {
+				ev := &e.arena[idx]
+				ev.gen++
+				ev.fn, ev.call, ev.arg = nil, nil, nil
+			}
 		}
-		e.lanes = append(e.lanes, ln)
-		e.laneFor[ln.delay] = ln
+	} else {
+		grown := e.arena[len(s.arena):]
+		copy(e.arena, s.arena)
+		for i := range grown {
+			grown[i].gen++
+			grown[i].fn, grown[i].call, grown[i].arg = nil, nil, nil
+		}
+		e.track = s
 	}
-	// Arena slots created after the snapshot stay allocated but are
-	// invalidated and returned to the free list: behavior is identical to
-	// a cold engine because nothing observable depends on slot identity.
-	grown := e.arena[len(s.arena):]
-	e.arena = e.arena[:len(s.arena)]
-	copy(e.arena, s.arena)
+	// The free list is rebuilt identically on every restore: the
+	// snapshot's free slots followed by every slot grown past the
+	// snapshot arena, in index order.
 	e.free = append(e.free[:0], s.free...)
-	for i := range grown {
-		grown[i].gen++
-		grown[i].fn, grown[i].call, grown[i].arg = nil, nil, nil
+	for idx := len(s.arena); idx < len(e.arena); idx++ {
+		e.free = append(e.free, int32(idx))
 	}
-	e.arena = e.arena[:len(s.arena)+len(grown)]
-	for i := range grown {
-		e.free = append(e.free, int32(len(s.arena)+i))
+	e.dirtySeq++
+	e.dirty = e.dirty[:0]
+
+	// The heap is rebuilt from the snapshot and slot positions are
+	// recomputed from it, so heap sifts never need dirty tracking.
+	e.heap = append(e.heap[:0], s.heap...)
+	for i, nd := range e.heap {
+		e.arena[nd.idx].pos = int32(i)
 	}
+
+	// Lanes rewind in place: the engine's lane list only ever grows, and
+	// the snapshot's lanes are a prefix of it in creation order, so each
+	// buffer is a head-reset copy into pooled storage. Lanes promoted
+	// after the snapshot empty out but stay registered — a future
+	// schedule of that delay takes the lane path, which changes queue
+	// layout but not the (at, seq) dispatch order.
+	for i, ls := range s.lanes {
+		ln := e.lanes[i]
+		ln.buf = append(ln.buf[:0], ls.buf...)
+		ln.head = 0
+		ln.lastAt = ls.lastAt
+		ln.tombs = ls.tombs
+	}
+	for _, ln := range e.lanes[len(s.lanes):] {
+		ln.buf = ln.buf[:0]
+		ln.head = 0
+		ln.tombs = 0
+	}
+
 	// Pooled args are re-cloned per restore so each fork delivers an
-	// object the previous fork has not already recycled.
+	// object the previous fork has not already recycled. A slot still
+	// holding a previous restore's clone (its delivery never fired, so
+	// the slot was never dirtied) keeps it — that copy is still detached.
 	for _, idx := range s.cloneIdx {
-		e.arena[idx].arg = s.arena[idx].arg.(ArgCloner).CloneSimArg()
+		if e.arena[idx].arg == s.arena[idx].arg {
+			e.arena[idx].arg = s.arena[idx].arg.(ArgCloner).CloneSimArg()
+		}
 	}
-	// The stdlib source state is not copyable; re-derive it by re-seeding
-	// and replaying the stream position (a handful of taps in practice —
-	// protocol code draws randomness sparsely).
-	e.src.Seed(e.seed)
-	for i := uint64(0); i < s.steps; i++ {
-		e.src.src.Int63()
-	}
-	e.src.steps = s.steps
+	// The splitmix state is one word: rolling the stream back is a copy,
+	// not an O(taps) replay.
+	e.src.state = s.rngState
 }

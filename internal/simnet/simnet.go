@@ -100,6 +100,15 @@ type Network struct {
 	stats        Stats
 	closed       bool
 
+	// Dirty tracking for delta Restore, mirroring sim.Engine: track is
+	// the snapshot deltas are recorded against and linksDirty records
+	// whether the partition/latency maps were touched since it was taken.
+	// Counters and the interceptor chain are cheap to roll back
+	// unconditionally; the two maps are not, and most forks never touch
+	// them (network faults arm via interceptors).
+	track      *NetSnapshot
+	linksDirty bool
+
 	// freeMsgs recycles Message objects: a message's lifetime ends when
 	// delivery (or a drop) resolves, so the in-flight set is small and
 	// per-send allocation is avoidable. Interceptors must not retain
@@ -156,6 +165,7 @@ func (n *Network) AddInterceptor(i Interceptor) {
 // SetLinkLatency overrides the one-way latency of the directed link
 // from->to. A negative latency removes the override.
 func (n *Network) SetLinkLatency(from, to Addr, d time.Duration) {
+	n.linksDirty = true
 	k := linkKey{from, to}
 	if d < 0 {
 		delete(n.linkLatency, k)
@@ -165,10 +175,16 @@ func (n *Network) SetLinkLatency(from, to Addr, d time.Duration) {
 }
 
 // Block severs the directed link from->to until Unblock.
-func (n *Network) Block(from, to Addr) { n.blocked[linkKey{from, to}] = true }
+func (n *Network) Block(from, to Addr) {
+	n.linksDirty = true
+	n.blocked[linkKey{from, to}] = true
+}
 
 // Unblock restores the directed link from->to.
-func (n *Network) Unblock(from, to Addr) { delete(n.blocked, linkKey{from, to}) }
+func (n *Network) Unblock(from, to Addr) {
+	n.linksDirty = true
+	delete(n.blocked, linkKey{from, to})
+}
 
 // BlockPair severs both directions between a and b.
 func (n *Network) BlockPair(a, b Addr) {
@@ -211,7 +227,10 @@ func (n *Network) Partition(groups ...[]Addr) {
 }
 
 // Heal removes all blocks.
-func (n *Network) Heal() { n.blocked = make(map[linkKey]bool) }
+func (n *Network) Heal() {
+	n.linksDirty = true
+	clear(n.blocked)
+}
 
 // Close stops all future deliveries (messages in flight are discarded at
 // delivery time).
@@ -288,7 +307,9 @@ type NetSnapshot struct {
 }
 
 // Snapshot captures the network state (excluding the handler table,
-// which is structural and never rolled back).
+// which is structural and never rolled back) and arms delta tracking:
+// restoring this snapshot skips the partition/latency map rebuild unless
+// something touched them in between.
 func (n *Network) Snapshot() *NetSnapshot {
 	s := &NetSnapshot{
 		stats:        n.stats,
@@ -303,6 +324,8 @@ func (n *Network) Snapshot() *NetSnapshot {
 	for k, v := range n.linkLatency {
 		s.linkLatency[k] = v
 	}
+	n.track = s
+	n.linksDirty = false
 	return s
 }
 
@@ -313,13 +336,17 @@ func (n *Network) Snapshot() *NetSnapshot {
 func (n *Network) Restore(s *NetSnapshot) {
 	n.stats = s.stats
 	n.closed = s.closed
-	clear(n.blocked)
-	for k, v := range s.blocked {
-		n.blocked[k] = v
-	}
-	clear(n.linkLatency)
-	for k, v := range s.linkLatency {
-		n.linkLatency[k] = v
+	if s != n.track || n.linksDirty {
+		clear(n.blocked)
+		for k, v := range s.blocked {
+			n.blocked[k] = v
+		}
+		clear(n.linkLatency)
+		for k, v := range s.linkLatency {
+			n.linkLatency[k] = v
+		}
+		n.track = s
+		n.linksDirty = false
 	}
 	for i := s.interceptors; i < len(n.interceptors); i++ {
 		n.interceptors[i] = nil
