@@ -30,6 +30,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		measure    = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
 		pluginsCS  = flag.String("plugins", "", "comma-separated plugins (pbft: maccorrupt,clients,reorder,faultplan,slowprimary; raft: raftclients,leaderflap); empty = target default")
+		faultsCS   = flag.String("faults", "", "comma-separated fault-vocabulary-v2 plugins armed on top of -plugins: crash (crash-restart with optional durable-state loss), skew (per-node clock drift), oneway (asymmetric partition), corrupt, dup (per-link ModMask corruption/duplication)")
+		stepBudget = flag.Uint64("stepbudget", 2_000_000, "per-test simulation event budget; a scenario that exceeds it is reported hung instead of stalling the campaign (0 = unlimited)")
 		workers    = flag.Int("workers", 1, "parallel test-execution workers (results are reproducible per seed+workers pair)")
 		csvPath    = flag.String("csv", "", "write per-test results to this CSV file")
 		topN       = flag.Int("top", 5, "print the N best attacks found")
@@ -40,7 +42,7 @@ func main() {
 	)
 	flag.Parse()
 
-	target, err := buildTarget(*targetName, *pluginsCS, *measure)
+	target, err := buildTarget(*targetName, *pluginsCS, *faultsCS, *measure, *stepBudget)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avd:", err)
 		os.Exit(1)
@@ -74,9 +76,9 @@ func main() {
 	}
 	if !*quiet {
 		opts = append(opts, core.WithObserver(func(i int, res core.Result) {
-			fmt.Printf("%4d impact=%.3f tput=%8.0f lat=%-10v %s (%s)%s\n",
+			fmt.Printf("%4d impact=%.3f tput=%8.0f lat=%-10v %s (%s)%s%s\n",
 				i, res.Impact, res.Throughput, res.AvgLatency.Round(time.Millisecond),
-				res.Scenario.Key(), res.Generator, violationSuffix(res))
+				res.Scenario.Key(), res.Generator, violationSuffix(res), errorSuffix(res))
 		}))
 	}
 	eng, err := core.NewEngine(target, opts...)
@@ -118,9 +120,10 @@ func main() {
 	fmt.Printf("\ntop %d attacks:\n", n)
 	for i := 0; i < n; i++ {
 		r := best[i]
-		fmt.Printf("  %d. impact=%.3f tput=%.0f req/s lat=%v crash=%d  %s%s\n",
+		fmt.Printf("  %d. impact=%.3f tput=%.0f req/s lat=%v crash=%d injected=%d/%d  %s%s%s\n",
 			i+1, r.Impact, r.Throughput, r.AvgLatency.Round(time.Millisecond),
-			r.CrashedReplicas, r.Scenario.Key(), violationSuffix(r))
+			r.CrashedReplicas, r.InjectedCrashes, r.Restarts,
+			r.Scenario.Key(), violationSuffix(r), errorSuffix(r))
 	}
 
 	if *minimize {
@@ -139,6 +142,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+// errorSuffix flags tests that degraded instead of completing: a hung
+// scenario (step budget exhausted) or a panicking target.
+func errorSuffix(res core.Result) string {
+	switch {
+	case res.Hung:
+		return " HUNG"
+	case res.Error != "":
+		return " ERROR"
+	default:
+		return ""
 	}
 }
 
@@ -206,7 +222,9 @@ func runMinimize(target core.Target, results []core.Result, threshold float64, m
 
 // buildTarget assembles the requested system under test with its plugin
 // set; an empty plugin list uses the target's default attack surface.
-func buildTarget(name, pluginsCS string, measure time.Duration) (core.Target, error) {
+// Fault-vocabulary-v2 plugins from -faults are appended on top, so
+// `-faults crash` widens the default hyperspace instead of replacing it.
+func buildTarget(name, pluginsCS, faultsCS string, measure time.Duration, stepBudget uint64) (core.Target, error) {
 	switch name {
 	case "pbft":
 		plugins, err := parsePBFTPlugins(pluginsCS)
@@ -214,19 +232,56 @@ func buildTarget(name, pluginsCS string, measure time.Duration) (core.Target, er
 			return nil, err
 		}
 		w := cluster.DefaultWorkload()
+		faults, err := parseFaults(faultsCS, int64(w.PBFT.N))
+		if err != nil {
+			return nil, err
+		}
 		w.Measure = measure
-		return cluster.NewTarget(w, plugins...)
+		w.StepBudget = stepBudget
+		return cluster.NewTarget(w, append(plugins, faults...)...)
 	case "raft":
 		plugins, err := parseRaftPlugins(pluginsCS)
 		if err != nil {
 			return nil, err
 		}
 		w := raftsim.DefaultWorkload()
+		faults, err := parseFaults(faultsCS, int64(w.Raft.N))
+		if err != nil {
+			return nil, err
+		}
 		w.Measure = measure
-		return raftsim.NewTarget(w, plugins...)
+		w.StepBudget = stepBudget
+		return raftsim.NewTarget(w, append(plugins, faults...)...)
 	default:
 		return nil, fmt.Errorf("unknown target %q (want pbft or raft)", name)
 	}
+}
+
+// parseFaults maps -faults names to the shared fault-vocabulary-v2
+// plugins, sized to the target cluster. "corrupt" and "dup" are two axes
+// of the same netfaults plugin, so naming either (or both) arms it once.
+func parseFaults(cs string, nodes int64) ([]core.Plugin, error) {
+	var out []core.Plugin
+	netFaults := false
+	for _, name := range strings.Split(cs, ",") {
+		switch strings.TrimSpace(name) {
+		case "crash":
+			out = append(out, plugin.NewCrashRestart())
+		case "skew":
+			out = append(out, plugin.NewClockSkew(nodes))
+		case "oneway":
+			out = append(out, plugin.NewOneWay(nodes))
+		case "corrupt", "dup":
+			netFaults = true
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown fault %q (want crash, skew, oneway, corrupt or dup)", name)
+		}
+	}
+	if netFaults {
+		out = append(out, plugin.NewNetFaults(nodes))
+	}
+	return out, nil
 }
 
 func parsePBFTPlugins(cs string) ([]core.Plugin, error) {

@@ -77,6 +77,12 @@ type Workload struct {
 	// combined with PBFT.QuorumBug it produces an executed agreement
 	// violation that the run's oracles report on the Result.
 	Equivocate bool
+	// StepBudget caps the number of engine events one measurement window
+	// may execute (0 = unlimited). A scenario that drives the deployment
+	// into an unbounded event storm exhausts the budget instead of
+	// spinning forever; the run degrades to an error-carrying Result
+	// (Result.Hung) and the campaign moves on.
+	StepBudget uint64
 }
 
 // DefaultWorkload returns the Figure-2/3 workload: 4 replicas (f=1),
@@ -116,6 +122,8 @@ type Report struct {
 	RejectedBatches    uint64
 	RejectedRequests   uint64
 	StateTransfers     uint64
+	Crashes            uint64 // injected crash-restart faults
+	Restarts           uint64 // injected restarts
 	CrashedReplicas    []int
 	CrashReasons       []string
 	FinalViews         []uint64

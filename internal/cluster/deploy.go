@@ -237,6 +237,149 @@ func (d *deployment) arm(sc scenario.Scenario, withFaults bool, extra ...oracle.
 		d.net.AddInterceptor(newDropWindow(d.malicious[0].Addr(), uint64(dropCall), uint64(dropLen)))
 	}
 	d.replicas[0].ApplyByzantine()
+
+	// Fault vocabulary v2 (DESIGN.md §10): crash-restart, clock skew,
+	// asymmetric partitions, link corruption/duplication. Every axis is
+	// off at its minimum, so legacy scenarios arm exactly what they used
+	// to.
+	crashInterval := time.Duration(sc.GetOr(plugin.DimCrashIntervalMS, 0)) * time.Millisecond
+	crashDown := time.Duration(sc.GetOr(plugin.DimCrashDownMS, 0)) * time.Millisecond
+	if crashInterval > 0 && crashDown > 0 {
+		attacker := &crashRestart{
+			eng: d.eng, replicas: d.replicas,
+			interval: crashInterval, down: crashDown,
+			lose: sc.GetOr(plugin.DimCrashLose, 0) != 0,
+		}
+		attacker.start()
+	}
+	if v := sc.GetOr(plugin.DimSkewNode, 0); v > 0 && int(v) <= len(d.replicas) {
+		if pm := sc.GetOr(plugin.DimSkewPermille, 0); pm != 0 {
+			d.eng.SetSkew(d.replicas[v-1].Clock(), int32(pm))
+		}
+	}
+	if v := sc.GetOr(plugin.DimOneWayVictim, 0); v > 0 && int(v) <= len(d.replicas) {
+		victim := d.replicas[v-1].Addr()
+		outbound := sc.GetOr(plugin.DimOneWayDir, 0) != 0
+		for _, rpl := range d.replicas {
+			peer := rpl.Addr()
+			if peer == victim {
+				continue
+			}
+			if outbound {
+				d.net.Block(victim, peer)
+			} else {
+				d.net.Block(peer, victim)
+			}
+		}
+	}
+	corruptMask := sc.GetOr(plugin.DimCorruptMask, 0)
+	dupMask := sc.GetOr(plugin.DimDupMask, 0)
+	if corruptMask != 0 || dupMask != 0 {
+		from := simnet.AnyAddr
+		if v := sc.GetOr(plugin.DimNetFaultFrom, 0); v > 0 && int(v) <= len(d.replicas) {
+			from = d.replicas[v-1].Addr()
+		}
+		plan := faultinject.NewPlan(
+			faultinject.Rule{
+				Point:    simnet.PointLinkCorrupt,
+				Trigger:  faultinject.ModMask{Mask: uint64(corruptMask), Period: 8},
+				Decision: faultinject.Decision{Action: faultinject.ActCorrupt},
+			},
+			faultinject.Rule{
+				Point:    simnet.PointLinkDup,
+				Trigger:  faultinject.ModMask{Mask: uint64(dupMask), Period: 8},
+				Decision: faultinject.Decision{Action: faultinject.ActCorrupt},
+			},
+		)
+		d.net.ArmLinkFaults(from, simnet.AnyAddr, plan, corruptPayload)
+	}
+}
+
+// crashRestart is the PBFT-side crash-restart attacker: every interval
+// tick it picks a victim, takes it down with Replica.Crash, and schedules
+// the restart after the down window. At most one injected crash is
+// outstanding at a time, and a replica that already died of a protocol
+// defect is never struck or revived (Crash reports whether the fault took
+// effect). Victim selection is deterministic: the current primary is the
+// highest-value target — killing it forces a view change, and killing it
+// with durable-state loss discards the log the view change needs — with
+// round-robin as the fallback.
+type crashRestart struct {
+	eng      *sim.Engine
+	replicas []*pbft.Replica
+	interval time.Duration
+	down     time.Duration
+	lose     bool // take the durable state with it
+	victim   int  // replica currently down from an injected crash, -1 when none
+	strikes  uint64
+}
+
+func (a *crashRestart) start() {
+	a.victim = -1
+	a.eng.Schedule(a.interval, a.strike)
+}
+
+func (a *crashRestart) pick() int {
+	for _, rpl := range a.replicas {
+		if crashed, _ := rpl.Crashed(); !crashed && rpl.IsPrimary() && !rpl.InViewChange() {
+			return rpl.ID()
+		}
+	}
+	for i := range a.replicas {
+		rpl := a.replicas[(int(a.strikes)+i)%len(a.replicas)]
+		if crashed, _ := rpl.Crashed(); !crashed {
+			return rpl.ID()
+		}
+	}
+	return -1
+}
+
+func (a *crashRestart) strike() {
+	if a.victim < 0 {
+		if v := a.pick(); v >= 0 && a.replicas[v].Crash(!a.lose) {
+			a.victim = v
+			a.strikes++
+			a.eng.Schedule(a.down, a.restart)
+		}
+	}
+	a.eng.Schedule(a.interval, a.strike)
+}
+
+func (a *crashRestart) restart() {
+	if a.victim < 0 {
+		return
+	}
+	a.replicas[a.victim].Restart()
+	a.victim = -1
+}
+
+// corruptPayload is the PBFT target's simnet.Corrupter: it garbles a
+// protocol message into a new value (payloads are pooled and shared, so
+// corruption must never mutate in place). Flipping the digest a vote or
+// proposal speaks for desynchronizes it from its authenticator, so the
+// receiver rejects it — modelling bit rot that PBFT's MACs catch, which
+// selectively erases agreement votes from the schedule. Client traffic is
+// left alone (it has its own MAC-corruption tool).
+func corruptPayload(from, to simnet.Addr, payload any) any {
+	switch m := payload.(type) {
+	case *pbft.PrePrepare:
+		c := *m
+		c.Digest ^= 1
+		return &c
+	case *pbft.Prepare:
+		c := *m
+		c.Digest ^= 1
+		return &c
+	case *pbft.Commit:
+		c := *m
+		c.Digest ^= 1
+		return &c
+	case *pbft.Checkpoint:
+		c := *m
+		c.Digest ^= 1
+		return &c
+	}
+	return nil
 }
 
 // measure runs the measurement window and collects the scenario outcome.
@@ -250,7 +393,14 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 	}()
 
 	d.measuring = true
+	if d.w.StepBudget > 0 {
+		d.eng.SetStepBudget(d.w.StepBudget)
+	}
 	d.eng.RunFor(d.w.Measure)
+	hung := d.eng.BudgetExceeded()
+	if d.w.StepBudget > 0 {
+		d.eng.SetStepBudget(0)
+	}
 	d.measuring = false
 
 	// Censored latency: a request still stuck at window end (e.g. the
@@ -287,6 +437,8 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 		rep.RejectedBatches += st.RejectedBatches
 		rep.RejectedRequests += st.RejectedRequests
 		rep.StateTransfers += st.StateTransfers
+		rep.Crashes += st.Crashes
+		rep.Restarts += st.Restarts
 		rep.FinalViews = append(rep.FinalViews, rpl.View())
 		if crashed, reason := rpl.Crashed(); crashed {
 			rep.CrashedReplicas = append(rep.CrashedReplicas, rpl.ID())
@@ -295,6 +447,12 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 	}
 	res.CrashedReplicas = len(rep.CrashedReplicas)
 	res.ViewChanges = rep.ViewsInstalled
+	res.InjectedCrashes = rep.Crashes
+	res.Restarts = rep.Restarts
+	if hung {
+		res.Hung = true
+		res.Error = fmt.Sprintf("cluster: scenario exceeded the %d-event step budget (runaway event storm)", d.w.StepBudget)
+	}
 	rep.P99Latency = metrics.PercentileInPlace(d.latTail, 99)
 	res.Violations = d.oracles.Finish()
 	return res, rep

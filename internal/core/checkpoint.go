@@ -17,7 +17,14 @@ import (
 //
 //	avd-checkpoint v1
 //	r <key-hi> <key-lo> <impact> <tput> <baseline> <latency-ns> <crashed> <views> <generator>
+//	e <injected-crashes> <restarts> <hung> <error>
 //	v <count> <invariant> <detail>
+//
+// The optional "e" extension line carries the fault-vocabulary-v2 and
+// degraded-test fields; it is written only when one of them is non-zero,
+// so checkpoints of campaigns that never arm the new faults are
+// byte-identical to the v1 encoding (the r line itself is frozen at nine
+// fields).
 //
 // Floats are hex-formatted (strconv 'x'), so decoding reproduces every
 // bit and a decoded checkpoint replays through an Engine exactly like
@@ -45,6 +52,16 @@ func (c *Checkpoint) Encode(w io.Writer) error {
 			strconv.Quote(res.Generator))
 		if err != nil {
 			return err
+		}
+		if res.InjectedCrashes != 0 || res.Restarts != 0 || res.Hung || res.Error != "" {
+			hung := 0
+			if res.Hung {
+				hung = 1
+			}
+			if _, err := fmt.Fprintf(bw, "e %d %d %d %s\n",
+				res.InjectedCrashes, res.Restarts, hung, strconv.Quote(res.Error)); err != nil {
+				return err
+			}
 		}
 		for _, v := range res.Violations {
 			if _, err := fmt.Fprintf(bw, "v %d %s %s\n",
@@ -92,6 +109,13 @@ func DecodeCheckpoint(r io.Reader, space *scenario.Space) (*Checkpoint, error) {
 				ck.append(*last)
 			}
 			last = &res
+		case strings.HasPrefix(text, "e "):
+			if last == nil {
+				return nil, fmt.Errorf("core: checkpoint line %d: extension before any result", line)
+			}
+			if err := decodeExtensionLine(text[2:], last); err != nil {
+				return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+			}
 		case strings.HasPrefix(text, "v "):
 			if last == nil {
 				return nil, fmt.Errorf("core: checkpoint line %d: violation before any result", line)
@@ -155,6 +179,30 @@ func decodeResultLine(s string, space *scenario.Space) (Result, error) {
 		return res, fmt.Errorf("generator: %w", err)
 	}
 	return res, nil
+}
+
+// decodeExtensionLine attaches an "e" record's fault-activity and
+// degraded-test fields to the result it follows.
+func decodeExtensionLine(s string, res *Result) error {
+	fields, err := splitFields(s, 4)
+	if err != nil {
+		return err
+	}
+	if res.InjectedCrashes, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+		return fmt.Errorf("injected crashes: %w", err)
+	}
+	if res.Restarts, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+		return fmt.Errorf("restarts: %w", err)
+	}
+	hung, err := strconv.ParseUint(fields[2], 10, 1)
+	if err != nil {
+		return fmt.Errorf("hung: %w", err)
+	}
+	res.Hung = hung == 1
+	if res.Error, err = strconv.Unquote(fields[3]); err != nil {
+		return fmt.Errorf("error: %w", err)
+	}
+	return nil
 }
 
 func decodeViolationLine(s string) (oracle.Violation, error) {

@@ -51,7 +51,23 @@ type Result struct {
 	// purely quantitative (throughput/latency): a scenario can be highly
 	// impactful without provably violating safety, and vice versa.
 	Violations []oracle.Violation
+	// InjectedCrashes / Restarts count crash-restart fault activity
+	// during the run (the crashrestart plugins drive them).
+	InjectedCrashes uint64
+	Restarts        uint64
+	// Error is non-empty when the test itself misbehaved — it panicked
+	// (the recovered stack is recorded here) or tripped the hung-test
+	// watchdog — and the campaign degraded it to an error result instead
+	// of aborting. The metrics of an errored result are untrustworthy.
+	Error string
+	// Hung marks a test that exhausted its step budget: virtual time
+	// stopped advancing under an event storm and the watchdog cut it off.
+	Hung bool
 }
+
+// Errored reports whether the test misbehaved (panicked or hung) rather
+// than measuring the scenario.
+func (r Result) Errored() bool { return r.Error != "" || r.Hung }
 
 // Violated reports whether the run broke the named invariant.
 func (r Result) Violated(invariant string) bool {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"avd/internal/scenario"
@@ -304,6 +305,24 @@ func (e *Engine) begin() bool {
 	return true
 }
 
+// safeRun executes one test, converting a panic inside the target into
+// an error-carrying Result instead of tearing down the campaign: the
+// poisoned scenario degrades to Result.Error (with the panic value and
+// stack) while the stream, the checkpoint, and the explorer's feedback
+// sequence continue undisturbed. A panicked run keeps its scenario so
+// checkpoint replay still verifies the proposal sequence.
+func safeRun(run func(scenario.Scenario) Result, sc scenario.Scenario) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{
+				Scenario: sc,
+				Error:    fmt.Sprintf("core: target panicked running %s: %v\n%s", sc.Key(), r, debug.Stack()),
+			}
+		}
+	}()
+	return run(sc)
+}
+
 // drive executes the campaign, handing each newly executed result to
 // emit in dispatch order. emit returns false to stop emitting (the
 // in-flight batch still finishes its bookkeeping).
@@ -404,14 +423,14 @@ func (e *Engine) drive(ctx context.Context, emit func(Result) bool) {
 			}
 		}
 		if len(live) == 1 {
-			results[replayed] = runFn(live[0])
+			results[replayed] = safeRun(runFn, live[0])
 		} else if len(live) > 1 {
 			var wg sync.WaitGroup
 			for i := range live {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					results[replayed+i] = runFn(live[i])
+					results[replayed+i] = safeRun(runFn, live[i])
 				}(i)
 			}
 			wg.Wait()

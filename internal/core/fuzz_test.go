@@ -16,6 +16,10 @@ func FuzzCheckpointDecode(f *testing.F) {
 	f.Add([]byte("avd-checkpoint v1\nr 0 5 0x1p+00 0x0p+00 0x1.d4cp+12 500000000 1 9 \"mutate:x\"\nv 3 \"pbft/agreement\" \"nodes 0 and 1 committed different values at seq 7\"\n"))
 	f.Add([]byte("not a checkpoint"))
 	f.Add([]byte("avd-checkpoint v1\nv 1 \"inv\" \"violation before result\"\n"))
+	f.Add([]byte("avd-checkpoint v1\nr 0 17 0x1p-03 0x1.f4p+09 0x1.f4p+09 1234 0 2 \"seed\"\ne 40 39 0 \"\"\nv 2 \"raft/election-safety\" \"two leaders in term 3\"\n"))
+	f.Add([]byte("avd-checkpoint v1\nr 0 5 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"mutate\"\ne 0 0 1 \"core: scenario exceeded step budget of 400000 events\"\n"))
+	f.Add([]byte("avd-checkpoint v1\ne 1 1 0 \"extension before result\"\n"))
+	f.Add([]byte("avd-checkpoint v1\nr 0 5 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"g\"\ne 1 1 2 \"hung out of range\"\n"))
 	f.Add([]byte("avd-checkpoint v1\nr 18446744073709551615 18446744073709551615 0x1p+00 0x0p+00 0x0p+00 -5 -1 0 \"\\\"quoted\\\"\"\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		space, err := Space(twoDimPlugins()...)

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"avd/internal/scenario"
+)
+
+// poisonRunner scores like pureRunner but panics whenever the scenario
+// lands on a poisoned x coordinate — a stand-in for a target bug that
+// only certain fault combinations trigger.
+func poisonRunner() Runner {
+	pure := pureRunner()
+	return RunnerFunc(func(sc scenario.Scenario) Result {
+		if sc.GetOr("x", 0)%5 == 3 {
+			panic("target exploded under this fault combination")
+		}
+		return pure.Run(sc)
+	})
+}
+
+type poisonTarget struct{ Runner }
+
+func (poisonTarget) Name() string      { return "poison" }
+func (poisonTarget) Plugins() []Plugin { return twoDimPlugins() }
+
+// TestEnginePoisonedScenarioDegrades: a scenario that panics the target
+// must degrade to an error-carrying Result — scenario preserved, Error
+// recorded — while the campaign runs its full budget and healthy
+// scenarios keep scoring normally.
+func TestEnginePoisonedScenarioDegrades(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		eng, err := NewEngine(poisonTarget{poisonRunner()},
+			WithExplorer(newEngineController(t, 42)), WithBudget(80), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, runErr := eng.RunAll(context.Background())
+		if runErr != nil {
+			t.Fatalf("workers=%d: poisoned scenario aborted the campaign: %v", workers, runErr)
+		}
+		if len(results) != 80 {
+			t.Fatalf("workers=%d: campaign ran %d of 80 tests", workers, len(results))
+		}
+		poisoned, healthy := 0, 0
+		for _, r := range results {
+			bad := r.Scenario.GetOr("x", 0)%5 == 3
+			if bad {
+				poisoned++
+				if !r.Errored() || !strings.Contains(r.Error, "target exploded") {
+					t.Fatalf("workers=%d: poisoned result lacks the panic: %+v", workers, r)
+				}
+				if r.Impact != 0 {
+					t.Fatalf("workers=%d: poisoned result scored impact %v", workers, r.Impact)
+				}
+			} else {
+				healthy++
+				if r.Errored() {
+					t.Fatalf("workers=%d: healthy scenario marked errored: %+v", workers, r)
+				}
+			}
+		}
+		if poisoned == 0 || healthy == 0 {
+			t.Fatalf("workers=%d: campaign did not hit both populations (%d poisoned, %d healthy)",
+				workers, poisoned, healthy)
+		}
+	}
+}
+
+// TestEnginePoisonedMatchesHealthySchedule: degradation must not perturb
+// the explorer's proposal sequence — a campaign over the panicking target
+// visits exactly the scenarios the pure target's campaign visits (the
+// panicked runs keep their scenario, so replay and feedback stay aligned).
+func TestEnginePoisonedMatchesHealthySchedule(t *testing.T) {
+	run := func(r Runner) []string {
+		var target Target = poisonTarget{r}
+		eng, err := NewEngine(target, WithExplorer(newEngineController(t, 11)), WithBudget(60), WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := eng.RunAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, len(results))
+		for i, res := range results {
+			keys[i] = res.Scenario.Key()
+		}
+		return keys
+	}
+	healthy, degraded := run(pureRunner()), run(poisonRunner())
+	for i := range healthy {
+		if healthy[i] != degraded[i] {
+			// The explorer may legitimately diverge after the first
+			// errored feedback (impact 0 vs the real score); what must
+			// hold is that the prefix up to the first poisoned test is
+			// identical.
+			firstBad := -1
+			for j, k := range degraded {
+				if strings.Contains(k, "x=3") || strings.Contains(k, "x=8") {
+					firstBad = j
+					break
+				}
+			}
+			if firstBad == -1 || i < firstBad {
+				t.Fatalf("schedule diverged at %d before any poisoned test: %s vs %s",
+					i, degraded[i], healthy[i])
+			}
+			return
+		}
+	}
+}
+
+// TestCheckpointExtensionRoundtrip: the optional "e" record carries
+// crash-restart activity and degraded-test state through encode/decode,
+// and results without any of it stay byte-identical to the v1 format.
+func TestCheckpointExtensionRoundtrip(t *testing.T) {
+	space, err := Space(twoDimPlugins()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := NewCheckpoint()
+	ck.append(Result{ // plain result: no e record
+		Scenario: space.New(map[string]int64{"x": 1, "y": 1}),
+		Impact:   0.25, Generator: "seed",
+	})
+	ck.append(Result{ // crash activity only
+		Scenario: space.New(map[string]int64{"x": 2, "y": 2}),
+		Impact:   0.5, Generator: "mutate",
+		InjectedCrashes: 17, Restarts: 16,
+	})
+	ck.append(Result{ // hung watchdog trip with a multi-line error
+		Scenario: space.New(map[string]int64{"x": 3, "y": 3}),
+		Hung:     true, Error: "scenario exceeded step budget\nvirtual time stalled",
+		Generator: "mutate",
+	})
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.String()
+	if got := strings.Count(enc, "\ne "); got != 2 {
+		t.Fatalf("want exactly 2 extension records, got %d in:\n%s", got, enc)
+	}
+	if !strings.Contains(enc, "e 17 16 0") {
+		t.Fatalf("crash counters missing from encoding:\n%s", enc)
+	}
+	decoded, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ck.Results(), decoded.Results()
+	if len(a) != len(b) {
+		t.Fatalf("decoded %d results, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].InjectedCrashes != b[i].InjectedCrashes || a[i].Restarts != b[i].Restarts ||
+			a[i].Hung != b[i].Hung || a[i].Error != b[i].Error {
+			t.Fatalf("result %d extension roundtrip mismatch:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCheckpointExtensionDecodeErrors: malformed e records error with
+// context instead of panicking or silently corrupting the result.
+func TestCheckpointExtensionDecodeErrors(t *testing.T) {
+	space, err := Space(twoDimPlugins()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = "r 0 0 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"g\"\n"
+	cases := []string{
+		"avd-checkpoint v1\ne 1 1 0 \"before any result\"\n",
+		"avd-checkpoint v1\n" + r + "e 1 1\n",
+		"avd-checkpoint v1\n" + r + "e x 1 0 \"\"\n",
+		"avd-checkpoint v1\n" + r + "e 1 x 0 \"\"\n",
+		"avd-checkpoint v1\n" + r + "e 1 1 2 \"\"\n",
+		"avd-checkpoint v1\n" + r + "e 1 1 0 unquoted\n",
+		"avd-checkpoint v1\n" + r + "e 1 1 0 \"\" trailing\n",
+	}
+	for _, in := range cases {
+		if _, err := DecodeCheckpoint(strings.NewReader(in), space); err == nil {
+			t.Fatalf("decoding %q did not error", in)
+		}
+	}
+}

@@ -149,6 +149,8 @@ type ReplicaStats struct {
 	ViewsInstalled    uint64
 	CheckpointsStable uint64
 	StateTransfers    uint64 // committed-quorum executions of rejected batches
+	Crashes           uint64 // injected crash-restart faults (not protocol-defect crashes)
+	Restarts          uint64 // injected restarts after a crash fault
 }
 
 // logEntry tracks one sequence number's agreement state.
@@ -216,6 +218,7 @@ type Replica struct {
 	id      int
 	cfg     Config
 	eng     *sim.Engine
+	clock   int // engine clock identity: every local timer schedules through it
 	net     *simnet.Network
 	keyring *mac.Keyring
 	byz     *ByzantineBehavior
@@ -368,6 +371,7 @@ func NewReplica(id int, cfg Config, net *simnet.Network, keyring *mac.Keyring, o
 	for _, opt := range opts {
 		opt(r)
 	}
+	r.clock = r.eng.RegisterClock()
 	r.authKeys = make([]mac.Key, cfg.N)
 	r.allAddrs = make([]simnet.Addr, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -418,6 +422,10 @@ func (r *Replica) Stats() ReplicaStats { return r.stats }
 func (r *Replica) InViewChange() bool { return r.inViewChange }
 
 func (r *Replica) isPrimary() bool { return r.cfg.PrimaryOf(r.view) == r.id }
+
+// IsPrimary reports whether the replica is the primary of its current
+// view.
+func (r *Replica) IsPrimary() bool { return r.isPrimary() }
 
 func (r *Replica) isSlowPrimary() bool {
 	return r.byz != nil && r.byz.SlowPrimary && r.isPrimary() && !r.inViewChange && !r.crashed
@@ -529,6 +537,74 @@ func (r *Replica) crash(reason string) {
 	r.batchTimer.Stop()
 	r.slowTimer.Stop()
 	r.newViewTimer.Stop()
+}
+
+// Clock returns the replica's engine clock identity; harnesses skew it to
+// model local-timer drift (sim.Engine.SetSkew).
+func (r *Replica) Clock() int { return r.clock }
+
+// Crash halts the replica as an injected crash-restart fault (DESIGN.md
+// §10). The persistence seam: a PBFT replica's durable state is what a
+// real implementation writes to stable storage before acting — the
+// agreement log, the executed history (lastExec, stateDigest, the
+// last-reply cache), stable checkpoints and the current view. Everything
+// else — pending batches, forwarded-request bookkeeping, in-flight
+// view-change state, timers — is volatile and dies with the process
+// regardless. keepDurable=true models a clean power cycle; false models
+// losing the disk too: the replica will come back blank and rejoin
+// through checkpoint state transfer. It reports whether the fault took
+// effect (false when the replica was already down, e.g. from a
+// protocol-defect crash — a dead process cannot be killed again, and the
+// injector must not later revive it).
+func (r *Replica) Crash(keepDurable bool) bool {
+	if r.crashed {
+		return false
+	}
+	r.crash("injected: crash-restart fault")
+	r.stats.Crashes++
+	if keepDurable {
+		return true
+	}
+	for seq, e := range r.log {
+		r.freeEntry(e)
+		delete(r.log, seq)
+	}
+	for seq, cs := range r.checkpoints {
+		r.freeCkptSet(cs)
+		delete(r.checkpoints, seq)
+	}
+	r.view = 0
+	r.seqCounter = 0
+	r.lastExec = 0
+	r.lowWater = 0
+	r.stateDigest = 0
+	r.lastReply = r.lastReply[:0]
+	return true
+}
+
+// Restart revives a crashed replica: durable state is whatever Crash left
+// behind, volatile state is rebuilt from scratch (fresh process). The
+// replica rejoins in its persisted view with no pending work, no buffered
+// view-change state and no timers armed; peers' traffic and checkpoint
+// state transfer bring it back up to date.
+func (r *Replica) Restart() {
+	if !r.crashed {
+		return
+	}
+	r.crashed = false
+	r.crashReason = ""
+	r.stats.Restarts++
+	r.pending = nil
+	clear(r.admitted)
+	clear(r.pendingForwarded)
+	clear(r.pendingBad)
+	clear(r.viewChanges)
+	r.inViewChange = false
+	r.pendingView = 0
+	r.nvTimeout = r.cfg.NewViewTimeout
+	if r.isSlowPrimary() {
+		r.armSlowTimer()
+	}
 }
 
 // onMessage dispatches a delivered network message.
@@ -678,7 +754,7 @@ func (r *Replica) primaryAdmit(req *Request) {
 		return
 	}
 	if !r.batchTimer.Active() {
-		r.batchTimer = r.eng.Schedule(r.cfg.BatchDelay, r.proposeBatchFn)
+		r.batchTimer = r.eng.ScheduleSkewed(r.clock, r.cfg.BatchDelay, r.proposeBatchFn)
 	}
 }
 
@@ -1040,7 +1116,7 @@ func (r *Replica) executeBatch(seq uint64, entry *logEntry) {
 		r.setLastReply(req.Client, reply)
 		if r.cfg.ExecTime > 0 {
 			reply := reply
-			r.eng.Schedule(r.cfg.ExecTime, func() {
+			r.eng.ScheduleSkewed(r.clock, r.cfg.ExecTime, func() {
 				if !r.crashed {
 					r.net.Send(r.Addr(), reply.Client, reply)
 				}
@@ -1062,11 +1138,11 @@ func (r *Replica) armRequestTimer(key RequestKey) {
 		// The bug: one timer for the whole replica. Setting it again
 		// while running is a no-op.
 		if !r.singleTimer.Active() {
-			r.singleTimer = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.reqTimerFn)
+			r.singleTimer = r.eng.ScheduleSkewed(r.clock, r.cfg.ViewChangeTimeout, r.reqTimerFn)
 		}
 	case PerRequestTimer:
 		if t, ok := r.reqTimers[key]; !ok || !t.Active() {
-			r.reqTimers[key] = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.reqTimerFn)
+			r.reqTimers[key] = r.eng.ScheduleSkewed(r.clock, r.cfg.ViewChangeTimeout, r.reqTimerFn)
 		}
 	}
 }
@@ -1087,7 +1163,7 @@ func (r *Replica) onRequestExecuted(key RequestKey) {
 		// though other forwarded requests still pend.
 		r.singleTimer.Stop()
 		if len(r.pendingForwarded) > 0 && !r.inViewChange {
-			r.singleTimer = r.eng.Schedule(r.cfg.ViewChangeTimeout, r.reqTimerFn)
+			r.singleTimer = r.eng.ScheduleSkewed(r.clock, r.cfg.ViewChangeTimeout, r.reqTimerFn)
 		}
 	case PerRequestTimer:
 		if t, ok := r.reqTimers[key]; ok {
@@ -1187,7 +1263,7 @@ func (r *Replica) advanceWatermark(stable uint64) {
 
 func (r *Replica) armSlowTimer() {
 	r.slowTimer.Stop()
-	r.slowTimer = r.eng.Schedule(r.byz.SlowInterval, r.slowTickFn)
+	r.slowTimer = r.eng.ScheduleSkewed(r.clock, r.byz.SlowInterval, r.slowTickFn)
 }
 
 // onSlowTick proposes exactly one single-request batch, then re-arms. One

@@ -52,7 +52,7 @@ func (r *Replica) startViewChange(target uint64) {
 	r.newViewTimer.Stop()
 	timeout := r.nvTimeout
 	r.nvTimeout *= 2
-	r.newViewTimer = r.eng.Schedule(timeout, r.nvTimeoutFn)
+	r.newViewTimer = r.eng.ScheduleSkewed(r.clock, timeout, r.nvTimeoutFn)
 	r.maybeAssembleNewView(target)
 }
 
@@ -338,8 +338,22 @@ func (r *Replica) enterView(target uint64) {
 	clear(r.pendingBad)
 	// Re-forward pending direct requests to the new primary and re-arm
 	// their timers (PBFT restarts the request timers in the new view).
+	// Iterate in sorted key order: admission and send order decide batch
+	// composition and network scheduling, and map order would make runs
+	// diverge.
 	primary := r.cfg.PrimaryOf(target)
-	for key, fw := range r.pendingForwarded {
+	keys := make([]RequestKey, 0, len(r.pendingForwarded))
+	for key := range r.pendingForwarded {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Client != keys[j].Client {
+			return keys[i].Client < keys[j].Client
+		}
+		return keys[i].Seq < keys[j].Seq
+	})
+	for _, key := range keys {
+		fw := r.pendingForwarded[key]
 		if last := r.lastReplyFor(fw.req.Client); last != nil && last.Seq >= fw.req.Seq {
 			delete(r.pendingForwarded, key)
 			continue

@@ -42,6 +42,46 @@ const (
 	DimSlowIntervalMS   = "slow_interval_ms"
 )
 
+// Dimension name constants of the fault-vocabulary-v2 plugins (DESIGN.md
+// §10), shared by both shipped targets: the cluster (PBFT) and raftsim
+// harnesses read the same names, so one plugin instance drives either
+// deployment.
+const (
+	// DimCrashIntervalMS is the period at which the crash-restart
+	// attacker kills a node (0 disables the attack).
+	DimCrashIntervalMS = "crash_interval_ms"
+	// DimCrashDownMS is how long a crashed node stays down.
+	DimCrashDownMS = "crash_down_ms"
+	// DimCrashLose selects durable-state loss: 0 = clean power cycle
+	// (the node's persistent state survives), 1 = the restarted node
+	// comes back blank.
+	DimCrashLose = "crash_lose_state"
+
+	// DimSkewNode picks the clock-skew victim: 0 = off, k > 0 = node k-1.
+	DimSkewNode = "skew_node"
+	// DimSkewPermille is the victim's clock drift in permille (positive =
+	// fast clock, timeouts fire early).
+	DimSkewPermille = "skew_permille"
+
+	// DimOneWayVictim picks the asymmetric-partition victim: 0 = off,
+	// k > 0 = node k-1.
+	DimOneWayVictim = "oneway_victim"
+	// DimOneWayDir cuts the victim's inbound (0) or outbound (1) links —
+	// outbound-cut leaves a leader receiving but unheard, the classic
+	// stale-leader schedule.
+	DimOneWayDir = "oneway_dir"
+
+	// DimCorruptMask is the per-link corruption schedule: bit (n mod 8)
+	// of the mask decides whether the n-th matching send is garbled
+	// (0 = off).
+	DimCorruptMask = "corrupt_mask"
+	// DimDupMask is the duplication schedule, same ModMask encoding.
+	DimDupMask = "dup_mask"
+	// DimNetFaultFrom restricts corruption/duplication to messages sent
+	// by one node: 0 = any sender, k > 0 = node k-1.
+	DimNetFaultFrom = "netfault_from"
+)
+
 // ScaledDelta converts a mutateDistance in [0,1] into a step count in
 // [1, max]: distance 0 still moves by one (a mutation must change the
 // scenario), distance 1 can jump across the whole axis. It is exported
@@ -258,6 +298,181 @@ func (p *SlowPrimary) Mutate(parent scenario.Scenario, distance float64, rng *ra
 	default:
 		cur := out.GetOr(DimSlowIntervalMS, 100)
 		out = out.With(DimSlowIntervalMS, cur+100*ScaledDelta(distance, 24, rng))
+	}
+	return out
+}
+
+// --- Fault vocabulary v2 (DESIGN.md §10) -----------------------------------
+//
+// The plugins below are protocol-neutral: both shipped targets read the
+// same dimension names, so the identical plugin instance widens either
+// the PBFT or the Raft hyperspace. Each axis is benign at its minimum
+// (fault off), which is what lets core.Minimize walk scenarios toward
+// the all-minimums origin.
+
+// CrashRestart is the crash-restart fault plugin: an attacker that
+// periodically kills one node and brings it back after a down window,
+// with or without its durable state. The lose-state axis is the one the
+// old vocabulary cannot express: a node that forgets the vote it granted
+// or the entries it acknowledged.
+type CrashRestart struct {
+	MaxIntervalMS int64
+	MaxDownMS     int64
+}
+
+// NewCrashRestart returns the plugin with default axis bounds (interval
+// 0..1000 ms step 50, down 0..400 ms step 25).
+func NewCrashRestart() *CrashRestart {
+	return &CrashRestart{MaxIntervalMS: 1000, MaxDownMS: 400}
+}
+
+var _ core.Plugin = (*CrashRestart)(nil)
+
+// Name implements core.Plugin.
+func (p *CrashRestart) Name() string { return "crashrestart" }
+
+// Dimensions implements core.Plugin.
+func (p *CrashRestart) Dimensions() []scenario.Dimension {
+	return []scenario.Dimension{
+		{Name: DimCrashIntervalMS, Min: 0, Max: p.MaxIntervalMS, Step: 50},
+		{Name: DimCrashDownMS, Min: 0, Max: p.MaxDownMS, Step: 25},
+		{Name: DimCrashLose, Min: 0, Max: 1, Step: 1},
+	}
+}
+
+// Mutate implements core.Plugin: small distances tune the crash cadence,
+// larger ones also rewrite the down window; the lose-state bit flips
+// rarely (it halves the search space when it matters at all).
+func (p *CrashRestart) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
+	interval := parent.GetOr(DimCrashIntervalMS, 0)
+	out := parent.With(DimCrashIntervalMS, interval+50*ScaledDelta(distance, p.MaxIntervalMS/100, rng))
+	if distance > 0.5 || rng.Float64() < 0.25 {
+		down := out.GetOr(DimCrashDownMS, 0)
+		out = out.With(DimCrashDownMS, down+25*ScaledDelta(distance, p.MaxDownMS/50, rng))
+	}
+	if rng.Float64() < 0.25 {
+		out = out.With(DimCrashLose, 1-out.GetOr(DimCrashLose, 0))
+	}
+	return out
+}
+
+// ClockSkew is the per-node clock-drift plugin: one node's timers run
+// fast or slow relative to its peers, entering premature-election (fast
+// follower) and stale-leader (slow heartbeats) schedules into the search
+// space.
+type ClockSkew struct {
+	// Nodes bounds the victim axis (the cluster size).
+	Nodes int64
+	// MaxPermille bounds the drift axis.
+	MaxPermille int64
+}
+
+// NewClockSkew returns the plugin for an n-node cluster with up to 50%
+// clock drift in 100-permille steps.
+func NewClockSkew(nodes int64) *ClockSkew {
+	return &ClockSkew{Nodes: nodes, MaxPermille: 500}
+}
+
+var _ core.Plugin = (*ClockSkew)(nil)
+
+// Name implements core.Plugin.
+func (p *ClockSkew) Name() string { return "clockskew" }
+
+// Dimensions implements core.Plugin.
+func (p *ClockSkew) Dimensions() []scenario.Dimension {
+	return []scenario.Dimension{
+		{Name: DimSkewNode, Min: 0, Max: p.Nodes, Step: 1},
+		{Name: DimSkewPermille, Min: 0, Max: p.MaxPermille, Step: 100},
+	}
+}
+
+// Mutate implements core.Plugin.
+func (p *ClockSkew) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
+	out := parent.With(DimSkewPermille,
+		parent.GetOr(DimSkewPermille, 0)+100*ScaledDelta(distance, p.MaxPermille/100, rng))
+	if distance > 0.5 || rng.Float64() < 0.25 {
+		out = out.With(DimSkewNode, out.GetOr(DimSkewNode, 0)+ScaledDelta(distance, p.Nodes, rng))
+	}
+	return out
+}
+
+// OneWay is the asymmetric-partition plugin: it severs one direction of
+// a victim's links — the fault symmetric partitions and flaps cannot
+// express, because a node that can send but not receive (or the reverse)
+// behaves unlike an isolated one.
+type OneWay struct {
+	// Nodes bounds the victim axis (the cluster size).
+	Nodes int64
+}
+
+// NewOneWay returns the plugin for an n-node cluster.
+func NewOneWay(nodes int64) *OneWay { return &OneWay{Nodes: nodes} }
+
+var _ core.Plugin = (*OneWay)(nil)
+
+// Name implements core.Plugin.
+func (p *OneWay) Name() string { return "oneway" }
+
+// Dimensions implements core.Plugin.
+func (p *OneWay) Dimensions() []scenario.Dimension {
+	return []scenario.Dimension{
+		{Name: DimOneWayVictim, Min: 0, Max: p.Nodes, Step: 1},
+		{Name: DimOneWayDir, Min: 0, Max: 1, Step: 1},
+	}
+}
+
+// Mutate implements core.Plugin.
+func (p *OneWay) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
+	out := parent.With(DimOneWayVictim,
+		parent.GetOr(DimOneWayVictim, 0)+ScaledDelta(distance, p.Nodes, rng))
+	if rng.Float64() < 0.25 {
+		out = out.With(DimOneWayDir, 1-out.GetOr(DimOneWayDir, 0))
+	}
+	return out
+}
+
+// NetFaults is the message corruption/duplication plugin: deterministic
+// ModMask schedules over the sends of one (or any) node, routed through
+// the simnet link-fault layer and the faultinject ActCorrupt action.
+type NetFaults struct {
+	// Nodes bounds the sender-selector axis (the cluster size).
+	Nodes int64
+}
+
+// NewNetFaults returns the plugin for an n-node cluster with 8-bit
+// corruption and duplication masks.
+func NewNetFaults(nodes int64) *NetFaults { return &NetFaults{Nodes: nodes} }
+
+var _ core.Plugin = (*NetFaults)(nil)
+
+// Name implements core.Plugin.
+func (p *NetFaults) Name() string { return "netfaults" }
+
+// Dimensions implements core.Plugin.
+func (p *NetFaults) Dimensions() []scenario.Dimension {
+	return []scenario.Dimension{
+		{Name: DimCorruptMask, Min: 0, Max: 255, Step: 1},
+		{Name: DimDupMask, Min: 0, Max: 255, Step: 1},
+		{Name: DimNetFaultFrom, Min: 0, Max: p.Nodes, Step: 1},
+	}
+}
+
+// Mutate implements core.Plugin: like the MAC-corruption plugin, small
+// distances flip few mask bits, large distances rewrite the masks.
+func (p *NetFaults) Mutate(parent scenario.Scenario, distance float64, rng *rand.Rand) scenario.Scenario {
+	flip := func(mask int64) int64 {
+		nbits := 1 + int(distance*3)
+		for i := 0; i < nbits; i++ {
+			mask ^= 1 << uint(rng.Intn(8))
+		}
+		return mask
+	}
+	out := parent.With(DimCorruptMask, flip(parent.GetOr(DimCorruptMask, 0)))
+	if distance > 0.5 || rng.Float64() < 0.25 {
+		out = out.With(DimDupMask, flip(out.GetOr(DimDupMask, 0)))
+	}
+	if rng.Float64() < 0.2 {
+		out = out.With(DimNetFaultFrom, out.GetOr(DimNetFaultFrom, 0)+ScaledDelta(distance, p.Nodes, rng))
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"avd/internal/core"
+	"avd/internal/faultinject"
 	"avd/internal/metrics"
 	"avd/internal/oracle"
 	"avd/internal/scenario"
@@ -153,6 +154,57 @@ func (d *deployment) arm(sc scenario.Scenario, withFaults bool, extra ...oracle.
 		attacker := &leaderFlap{eng: d.eng, net: d.net, nodes: d.nodes, interval: flapInterval, down: flapDown}
 		attacker.start()
 	}
+	crashInterval := time.Duration(sc.GetOr(DimCrashIntervalMS, 0)) * time.Millisecond
+	crashDown := time.Duration(sc.GetOr(DimCrashDownMS, 0)) * time.Millisecond
+	if crashInterval > 0 && crashDown > 0 {
+		attacker := &crashRestart{
+			eng: d.eng, nodes: d.nodes,
+			interval: crashInterval, down: crashDown,
+			lose: sc.GetOr(DimCrashLose, 0) != 0,
+		}
+		attacker.start()
+	}
+	if v := sc.GetOr(DimSkewNode, 0); v > 0 && int(v) <= len(d.nodes) {
+		if pm := sc.GetOr(DimSkewPermille, 0); pm != 0 {
+			d.eng.SetSkew(d.nodes[v-1].Clock(), int32(pm))
+		}
+	}
+	if v := sc.GetOr(DimOneWayVictim, 0); v > 0 && int(v) <= len(d.nodes) {
+		victim := simnet.Addr(v - 1)
+		outbound := sc.GetOr(DimOneWayDir, 0) != 0
+		for _, n := range d.nodes {
+			peer := simnet.Addr(n.ID())
+			if peer == victim {
+				continue
+			}
+			if outbound {
+				d.net.Block(victim, peer)
+			} else {
+				d.net.Block(peer, victim)
+			}
+		}
+	}
+	corruptMask := sc.GetOr(DimCorruptMask, 0)
+	dupMask := sc.GetOr(DimDupMask, 0)
+	if corruptMask != 0 || dupMask != 0 {
+		from := simnet.AnyAddr
+		if v := sc.GetOr(DimNetFaultFrom, 0); v > 0 && int(v) <= len(d.nodes) {
+			from = simnet.Addr(v - 1)
+		}
+		plan := faultinject.NewPlan(
+			faultinject.Rule{
+				Point:    simnet.PointLinkCorrupt,
+				Trigger:  faultinject.ModMask{Mask: uint64(corruptMask), Period: 8},
+				Decision: faultinject.Decision{Action: faultinject.ActCorrupt},
+			},
+			faultinject.Rule{
+				Point:    simnet.PointLinkDup,
+				Trigger:  faultinject.ModMask{Mask: uint64(dupMask), Period: 8},
+				Decision: faultinject.Decision{Action: faultinject.ActCorrupt},
+			},
+		)
+		d.net.ArmLinkFaults(from, simnet.AnyAddr, plan, corruptPayload)
+	}
 }
 
 // measure runs the measurement window and collects the scenario outcome.
@@ -161,7 +213,14 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 
 	d.measuring = true
 	leaderBefore := currentLeader(d.nodes)
+	if d.w.StepBudget > 0 {
+		d.eng.SetStepBudget(d.w.StepBudget)
+	}
 	d.eng.RunFor(d.w.Measure)
+	hung := d.eng.BudgetExceeded()
+	if d.w.StepBudget > 0 {
+		d.eng.SetStepBudget(0)
+	}
 	d.measuring = false
 	leaderAfter := currentLeader(d.nodes)
 
@@ -187,6 +246,8 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 		st := n.Stats()
 		rep.ElectionsStarted += st.ElectionsStarted
 		rep.Redirects += st.Redirects
+		rep.Crashes += st.Crashes
+		rep.Restarts += st.Restarts
 		if st.TermsSeen > rep.MaxTerm {
 			rep.MaxTerm = st.TermsSeen
 		}
@@ -195,6 +256,12 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 		rep.Retransmissions += c.Stats().Retransmissions
 	}
 	res.ViewChanges = rep.ElectionsStarted // terms are Raft's "views"
+	res.InjectedCrashes = rep.Crashes
+	res.Restarts = rep.Restarts
+	if hung {
+		res.Hung = true
+		res.Error = fmt.Sprintf("raftsim: scenario exceeded the %d-event step budget (runaway event storm)", d.w.StepBudget)
+	}
 	rep.P99Latency = metrics.PercentileInPlace(d.latTail, 99)
 	res.Violations = d.oracles.Finish()
 	return res, rep

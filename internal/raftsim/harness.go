@@ -35,6 +35,11 @@ type Workload struct {
 	// LatencyRef scales the latency component of the impact metric (see
 	// cluster.Workload.LatencyRef). Zero disables it.
 	LatencyRef time.Duration
+	// StepBudget caps the number of engine events one measurement window
+	// may fire; a scenario that exhausts it (a runaway event storm) is
+	// reported as hung instead of being waited on. 0 disables the
+	// watchdog.
+	StepBudget uint64
 }
 
 // DefaultWorkload returns the Raft evaluation workload: 5 nodes,
@@ -63,6 +68,9 @@ type Report struct {
 	Redirects       uint64
 	Retransmissions uint64
 	P99Latency      time.Duration
+	// Crashes / Restarts count injected crash-restart fault activity.
+	Crashes  uint64
+	Restarts uint64
 }
 
 // Runner executes scenarios against a fixed Raft workload. Like
@@ -296,6 +304,99 @@ func (a *leaderFlap) heal() {
 		}
 	}
 	a.isolated = -1
+}
+
+// crashRestart is the crash-restart attacker: every interval tick it
+// picks a victim, takes it down with Node.Crash, and schedules the
+// restart after the down window. At most one node is down at a time.
+// Victim selection is deterministic and vote-aware: a follower that
+// granted its vote in a still-unresolved election is the highest-value
+// target — crashed with durable-state loss it forgets the grant, and on
+// restart it can vote again in the same term, which is the schedule that
+// breaks Election Safety. With no such follower the current leader is
+// struck (forcing an election), falling back to round-robin.
+type crashRestart struct {
+	eng      *sim.Engine
+	nodes    []*Node
+	interval time.Duration
+	down     time.Duration
+	lose     bool // take the durable state with it
+	victim   int  // node currently down, -1 when none
+	strikes  uint64
+}
+
+func (a *crashRestart) start() {
+	a.victim = -1
+	a.eng.Schedule(a.interval, a.strike)
+}
+
+func (a *crashRestart) pick() int {
+	for _, n := range a.nodes {
+		if !n.crashed && n.role == follower && n.votedFor >= 0 && n.votedFor != n.id && n.leader < 0 {
+			return n.id
+		}
+	}
+	if v := currentLeader(a.nodes); v >= 0 && !a.nodes[v].crashed {
+		return v
+	}
+	for i := range a.nodes {
+		n := a.nodes[(int(a.strikes)+i)%len(a.nodes)]
+		if !n.crashed {
+			return n.id
+		}
+	}
+	return -1
+}
+
+func (a *crashRestart) strike() {
+	if a.victim < 0 {
+		if v := a.pick(); v >= 0 {
+			a.victim = v
+			a.strikes++
+			a.nodes[v].Crash(!a.lose)
+			a.eng.Schedule(a.down, a.restart)
+		}
+	}
+	a.eng.Schedule(a.interval, a.strike)
+}
+
+func (a *crashRestart) restart() {
+	if a.victim < 0 {
+		return
+	}
+	a.nodes[a.victim].Restart()
+	a.victim = -1
+}
+
+// corruptPayload is the raft target's simnet.Corrupter: it garbles a
+// protocol message into a new value (payloads are shared and must never
+// be mutated in place). Corruptions perturb protocol claims — log-state
+// advertisements, consistency-check coordinates, vote/ack verdicts —
+// rather than forging identities, modelling bit rot the transport failed
+// to catch. Client traffic is left alone (it has its own fault tools).
+func corruptPayload(from, to simnet.Addr, payload any) any {
+	switch m := payload.(type) {
+	case *RequestVote:
+		c := *m
+		c.LastLogIndex ^= 1
+		c.LastLogTerm ^= 1
+		return &c
+	case *RequestVoteReply:
+		c := *m
+		c.Granted = false
+		return &c
+	case *AppendEntries:
+		c := *m
+		c.PrevLogIndex ^= 1
+		c.PrevLogTerm ^= 1
+		return &c
+	case *AppendEntriesReply:
+		c := *m
+		c.Success = false
+		c.MatchIndex = 0
+		return &c
+	}
+	return nil
 }
 
 // execute builds, warms and runs one cold deployment. withFaults=false

@@ -22,6 +22,23 @@ const (
 	DimFlapDownMS = "flap_down_ms"
 )
 
+// The fault-vocabulary-v2 dimensions (crash-restart, clock skew,
+// asymmetric partitions, link corruption/duplication) are protocol-
+// neutral and live in internal/plugin; the local aliases keep this
+// package's harness and tests readable.
+const (
+	DimCrashIntervalMS = plugin.DimCrashIntervalMS
+	DimCrashDownMS     = plugin.DimCrashDownMS
+	DimCrashLose       = plugin.DimCrashLose
+	DimSkewNode        = plugin.DimSkewNode
+	DimSkewPermille    = plugin.DimSkewPermille
+	DimOneWayVictim    = plugin.DimOneWayVictim
+	DimOneWayDir       = plugin.DimOneWayDir
+	DimCorruptMask     = plugin.DimCorruptMask
+	DimDupMask         = plugin.DimDupMask
+	DimNetFaultFrom    = plugin.DimNetFaultFrom
+)
+
 // Clients controls the deployment-shape dimension of the Raft
 // experiment: how many correct closed-loop clients connect.
 type Clients struct {
@@ -98,3 +115,20 @@ func (p *LeaderFlap) Mutate(parent scenario.Scenario, distance float64, rng *ran
 	}
 	return out
 }
+
+// NewCrashRestartPlugin returns the shared crash-restart plugin with its
+// default axis bounds (interval 0..1000 ms step 50, down 0..400 ms step
+// 25).
+func NewCrashRestartPlugin() *plugin.CrashRestart { return plugin.NewCrashRestart() }
+
+// NewClockSkewPlugin returns the shared clock-skew plugin sized to the
+// default 5-node cluster (up to 50% drift in 100-permille steps).
+func NewClockSkewPlugin() *plugin.ClockSkew { return plugin.NewClockSkew(5) }
+
+// NewOneWayPlugin returns the shared asymmetric-partition plugin sized to
+// the default 5-node cluster.
+func NewOneWayPlugin() *plugin.OneWay { return plugin.NewOneWay(5) }
+
+// NewNetFaultsPlugin returns the shared corruption/duplication plugin
+// sized to the default 5-node cluster.
+func NewNetFaultsPlugin() *plugin.NetFaults { return plugin.NewNetFaults(5) }

@@ -179,14 +179,31 @@ type NodeStats struct {
 	Redirects uint64
 	// AppendsRejected counts failed AppendEntries consistency checks.
 	AppendsRejected uint64
+	// Crashes / Restarts count injected crash-restart cycles (the
+	// crashrestart fault plugin drives them).
+	Crashes  uint64
+	Restarts uint64
 }
 
 // Node is one Raft server. All methods run on the simulation goroutine.
+//
+// The persistence seam (DESIGN.md §10): term, votedFor and log are the
+// node's durable state — what a real server fsyncs before answering — and
+// everything else is volatile, rebuilt after a restart. Crash(false)
+// models a server whose durable writes were lost (a dead disk, a
+// misconfigured fsync): on Restart it rejoins at term 0 with an empty log
+// and no memory of the votes it granted, which is exactly the state-loss
+// fault the election-safety and durability oracles exist to catch.
 type Node struct {
-	id  int
-	cfg Config
-	eng *sim.Engine
-	net *simnet.Network
+	id    int
+	cfg   Config
+	eng   *sim.Engine
+	net   *simnet.Network
+	clock int // sim.Engine clock id; skew drives this node's timers fast or slow
+
+	// crashed gates the message handler and timers: a crashed node is
+	// silent until Restart.
+	crashed bool
 
 	role     role
 	term     uint64
@@ -254,6 +271,7 @@ func NewNode(id int, cfg Config, net *simnet.Network, opts ...NodeOption) (*Node
 		cfg:        cfg,
 		eng:        net.Engine(),
 		net:        net,
+		clock:      net.Engine().RegisterClock(),
 		votedFor:   -1,
 		leader:     -1,
 		nextIndex:  make([]uint64, cfg.N),
@@ -292,6 +310,57 @@ func (n *Node) LogLen() int { return len(n.log) }
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() NodeStats { return n.stats }
 
+// Crashed reports whether the node is down (between Crash and Restart).
+func (n *Node) Crashed() bool { return n.crashed }
+
+// Clock returns the node's sim.Engine clock id, through which harnesses
+// arm per-node clock skew.
+func (n *Node) Clock() int { return n.clock }
+
+// Crash takes the node down: its timers stop and incoming messages fall
+// on the floor until Restart. With keepDurable the term, vote and log
+// survive (a clean power cycle); without it the durable state is lost
+// too — the node will rejoin as a blank follower that can re-grant a vote
+// it already cast, which is the fault that breaks Election Safety.
+func (n *Node) Crash(keepDurable bool) {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.stats.Crashes++
+	n.electionTimer.Stop()
+	n.heartbeatTimer.Stop()
+	if !keepDurable {
+		n.term = 0
+		n.votedFor = -1
+		n.log = n.log[:0]
+	}
+}
+
+// Restart brings a crashed node back as a follower. Volatile state —
+// role, leader hint, ballot box, commit/applied indices, replication
+// cursors, client dedup tables — is rebuilt from scratch; durable state
+// is whatever Crash left behind.
+func (n *Node) Restart() {
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	n.stats.Restarts++
+	n.role = follower
+	n.leader = -1
+	n.votes = 0
+	n.commit = 0
+	n.applied = 0
+	for i := range n.nextIndex {
+		n.nextIndex[i] = 0
+		n.matchIndex[i] = 0
+	}
+	clear(n.lastSeq)
+	clear(n.pending)
+	n.resetElectionTimer()
+}
+
 func (n *Node) electionTimeout() time.Duration {
 	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
 	return n.cfg.ElectionTimeoutMin + time.Duration(n.eng.Rand().Int63n(int64(span)))
@@ -299,7 +368,11 @@ func (n *Node) electionTimeout() time.Duration {
 
 func (n *Node) resetElectionTimer() {
 	n.electionTimer.Stop()
-	n.electionTimer = n.eng.Schedule(n.electionTimeout(), n.electionFn)
+	// Timers run on the node's own clock: skew makes this node's election
+	// timeout fire early (fast clock) or late (slow clock) relative to its
+	// peers, which is how stale-leader and premature-election schedules
+	// enter the search space.
+	n.electionTimer = n.eng.ScheduleSkewed(n.clock, n.electionTimeout(), n.electionFn)
 }
 
 func (n *Node) lastLog() (index, term uint64) {
@@ -327,7 +400,7 @@ func (n *Node) stepDown(term uint64) {
 
 // onElectionTimeout starts an election (Raft §5.2).
 func (n *Node) onElectionTimeout() {
-	if n.role == leader {
+	if n.role == leader || n.crashed {
 		return
 	}
 	n.role = candidate
@@ -369,15 +442,15 @@ func (n *Node) becomeLeader() {
 	clear(n.pending)
 	n.broadcastAppend()
 	n.heartbeatTimer.Stop()
-	n.heartbeatTimer = n.eng.Schedule(n.cfg.HeartbeatInterval, n.heartbeatFn)
+	n.heartbeatTimer = n.eng.ScheduleSkewed(n.clock, n.cfg.HeartbeatInterval, n.heartbeatFn)
 }
 
 func (n *Node) onHeartbeat() {
-	if n.role != leader {
+	if n.role != leader || n.crashed {
 		return
 	}
 	n.broadcastAppend()
-	n.heartbeatTimer = n.eng.Schedule(n.cfg.HeartbeatInterval, n.heartbeatFn)
+	n.heartbeatTimer = n.eng.ScheduleSkewed(n.clock, n.cfg.HeartbeatInterval, n.heartbeatFn)
 }
 
 // broadcastAppend sends each follower the entries from its nextIndex
@@ -417,6 +490,9 @@ func (n *Node) sendAppend(peer int) {
 }
 
 func (n *Node) onMessage(from simnet.Addr, payload any) {
+	if n.crashed {
+		return
+	}
 	switch m := payload.(type) {
 	case *RequestVote:
 		n.onRequestVote(m)

@@ -15,6 +15,7 @@ import (
 
 // NodeState is a restorable capture of one Raft node.
 type NodeState struct {
+	crashed    bool
 	role       role
 	term       uint64
 	votedFor   int
@@ -38,6 +39,7 @@ type NodeState struct {
 // Snapshot captures the node's complete mutable state.
 func (n *Node) Snapshot() *NodeState {
 	s := &NodeState{
+		crashed:        n.crashed,
 		role:           n.role,
 		term:           n.term,
 		votedFor:       n.votedFor,
@@ -59,6 +61,7 @@ func (n *Node) Snapshot() *NodeState {
 
 // Restore rolls the node back to the captured state.
 func (n *Node) Restore(s *NodeState) {
+	n.crashed = s.crashed
 	n.role = s.role
 	n.term = s.term
 	n.votedFor = s.votedFor

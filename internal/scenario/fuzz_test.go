@@ -24,6 +24,11 @@ func FuzzCompactKey(f *testing.F) {
 	f.Add(int64(4095), int64(250), int64(1), int64(1000), int64(0), int64(10), int64(0), int64(-1000), uint64(^uint64(0)), uint64(^uint64(0)))
 	f.Add(int64(2730), int64(130), int64(1), int64(3), int64(2730), int64(130), int64(1), int64(3), uint64(1)<<63, uint64(12345))
 	f.Add(int64(-5), int64(999), int64(7), int64(0), int64(5), int64(-999), int64(-7), int64(1), uint64(42), uint64(7))
+	// Fault-vocabulary-v2 shapes: coarse stepped axes (crash intervals in
+	// steps of 50/25) and the -1 "wildcard victim" sentinel of the
+	// one-way/netfault selectors, which clamps against a nonnegative Min.
+	f.Add(int64(50), int64(25), int64(1), int64(-1), int64(1000), int64(400), int64(0), int64(-1), uint64(0xA5), uint64(0x3C))
+	f.Add(int64(-1), int64(10), int64(0), int64(50), int64(-1), int64(10), int64(0), int64(50), uint64(0xFF), uint64(0))
 	f.Fuzz(func(t *testing.T, a1, a2, a3, a4, b1, b2, b3, b4 int64, hi, lo uint64) {
 		space := fuzzSpace()
 		sc1 := space.New(map[string]int64{"mac_mask": a1, "clients": a2, "flag": a3, "wide": a4})

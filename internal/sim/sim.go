@@ -230,6 +230,20 @@ type Engine struct {
 
 	// Executed counts events that have fired, for diagnostics and tests.
 	executed uint64
+
+	// clocks holds per-registered-clock drift in permille (positive runs
+	// fast: scheduled delays shrink; negative runs slow). Clock 0 does not
+	// exist — RegisterClock hands out indices and ScheduleSkewed scales a
+	// delay through its clock before queueing. The slice is part of every
+	// Snapshot so skew armed mid-run rolls back with the rest of the state.
+	clocks []int32
+
+	// stepLimit is the watchdog: when non-zero, Run/RunUntil/Step refuse to
+	// fire events once executed reaches it, setting budgetHit instead of
+	// looping forever on a runaway schedule (e.g. a zero-delay
+	// self-rescheduling storm). 0 disables the budget.
+	stepLimit uint64
+	budgetHit bool
 }
 
 // splitmixSource is the engine's random source: splitmix64, whose entire
@@ -291,6 +305,75 @@ func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return e.live }
+
+// RegisterClock allocates a per-node virtual clock and returns its id.
+// A fresh clock has zero skew: ScheduleSkewed through it is identical to
+// Schedule. Clocks are registered at deployment build time, so restoring
+// a snapshot never changes the clock count, only the skews.
+func (e *Engine) RegisterClock() int {
+	e.clocks = append(e.clocks, 0)
+	return len(e.clocks) - 1
+}
+
+// SetSkew sets a registered clock's drift in permille: +100 means the
+// node's clock runs 10% fast, so its relative timeouts fire 10% early in
+// global virtual time; -100 runs 10% slow. Skew is captured by Snapshot
+// and rolled back by Restore.
+func (e *Engine) SetSkew(clock int, permille int32) {
+	if permille <= -1000 {
+		// A clock running backwards (or stopped) would schedule everything
+		// at now; clamp to "almost stopped" instead.
+		permille = -999
+	}
+	e.clocks[clock] = permille
+}
+
+// Skew returns a registered clock's current drift in permille.
+func (e *Engine) Skew(clock int) int32 { return e.clocks[clock] }
+
+// skewed converts a node-local delay to a global-time delay through the
+// clock's drift. Zero skew is a single compare on the hot path.
+func (e *Engine) skewed(clock int, d time.Duration) time.Duration {
+	s := e.clocks[clock]
+	if s == 0 || d <= 0 {
+		return d
+	}
+	return d * 1000 / time.Duration(1000+int64(s))
+}
+
+// ScheduleSkewed is Schedule with d interpreted as a duration on the
+// given node-local clock: a fast clock (positive skew) makes the callback
+// fire earlier in global time, a slow one later.
+func (e *Engine) ScheduleSkewed(clock int, d time.Duration, fn func()) Timer {
+	return e.At(e.now.Add(e.skewed(clock, d)), fn)
+}
+
+// SetStepBudget arms the runaway-scenario watchdog: the engine will fire
+// at most steps more events before Run/RunUntil/Step stop dispatching and
+// BudgetExceeded reports true. steps == 0 disarms the watchdog and clears
+// a tripped flag.
+func (e *Engine) SetStepBudget(steps uint64) {
+	if steps == 0 {
+		e.stepLimit, e.budgetHit = 0, false
+		return
+	}
+	e.stepLimit = e.executed + steps
+	e.budgetHit = false
+}
+
+// BudgetExceeded reports whether a step budget armed by SetStepBudget ran
+// out — the signature of a hung scenario (virtual time stopped advancing
+// under an event storm).
+func (e *Engine) BudgetExceeded() bool { return e.budgetHit }
+
+// overBudget checks (and latches) the watchdog before an event fires.
+func (e *Engine) overBudget() bool {
+	if e.stepLimit != 0 && e.executed >= e.stepLimit {
+		e.budgetHit = true
+		return true
+	}
+	return false
+}
 
 // Schedule runs fn after virtual duration d and returns a cancelable timer.
 // A non-positive d schedules fn at the current time, after events already
@@ -485,7 +568,7 @@ func (e *Engine) fire(nd node, src int) {
 // Step fires the next event. It reports false when the queue is empty or
 // the engine was stopped.
 func (e *Engine) Step() bool {
-	if e.stopped {
+	if e.stopped || e.overBudget() {
 		return false
 	}
 	nd, src, ok := e.minPending()
@@ -496,9 +579,10 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run fires events until the queue drains or Stop is called.
+// Run fires events until the queue drains, Stop is called, or the step
+// budget runs out.
 func (e *Engine) Run() {
-	for !e.stopped {
+	for !e.stopped && !e.overBudget() {
 		nd, src, ok := e.minPending()
 		if !ok {
 			return
@@ -508,9 +592,11 @@ func (e *Engine) Run() {
 }
 
 // RunUntil fires all events scheduled at or before t, then advances the
-// clock to t. Events scheduled for later remain queued.
+// clock to t. Events scheduled for later remain queued. If the step
+// budget runs out mid-window, dispatch stops but the clock still advances
+// to t, so a harness measuring a hung scenario completes its window.
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped {
+	for !e.stopped && !e.overBudget() {
 		nd, src, ok := e.minPending()
 		if !ok || nd.at > t {
 			break
@@ -642,6 +728,9 @@ type Snapshot struct {
 	lanes    []laneSnap
 	arena    []event
 	free     []int32
+	clocks   []int32
+	stepLim  uint64
+	budgetHt bool
 	// cloneIdx lists arena slots whose args are pooled objects (ArgCloner):
 	// the snapshot arena holds a detached master copy and every Restore
 	// hands out a fresh clone of it.
@@ -673,6 +762,9 @@ func (e *Engine) Snapshot() *Snapshot {
 		heap:     append([]node(nil), e.heap...),
 		arena:    append([]event(nil), e.arena...),
 		free:     append([]int32(nil), e.free...),
+		clocks:   append([]int32(nil), e.clocks...),
+		stepLim:  e.stepLimit,
+		budgetHt: e.budgetHit,
 	}
 	for _, ln := range e.lanes {
 		s.lanes = append(s.lanes, laneSnap{
@@ -724,6 +816,10 @@ func (e *Engine) Restore(s *Snapshot) {
 	}
 	e.now, e.seq, e.executed, e.stopped = s.now, s.seq, s.executed, false
 	e.live = s.live
+	// Clocks only ever grow (registered at build time), so the snapshot's
+	// skews copy back in place; the step budget is two scalar copies.
+	e.clocks = append(e.clocks[:0], s.clocks...)
+	e.stepLimit, e.budgetHit = s.stepLim, s.budgetHt
 
 	if s == e.track {
 		// Delta path: copy back exactly the slots mutated since the last

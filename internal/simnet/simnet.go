@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"avd/internal/faultinject"
 	"avd/internal/sim"
 )
 
@@ -77,12 +78,21 @@ type Config struct {
 	DropRate float64
 }
 
-// Stats counts network activity since creation.
+// Stats counts network activity since creation. The conservation
+// invariant (checked by TestStatsConservation) is
+//
+//	Sent + Duplicated == Delivered + Dropped + Partitioned + in-flight
+//
+// Corrupted is orthogonal: a garbled message still flows through the
+// normal delivery pipeline, so a corrupt-then-dropped message counts
+// exactly once in Corrupted and exactly once in Dropped.
 type Stats struct {
 	Sent        uint64
 	Delivered   uint64
 	Dropped     uint64 // by DropRate or interceptor verdicts
 	Partitioned uint64 // blocked by a partition
+	Corrupted   uint64 // payloads garbled in flight by link faults
+	Duplicated  uint64 // extra copies injected by link faults
 }
 
 // Network is a simulated network. It is not safe for concurrent use; all
@@ -109,6 +119,10 @@ type Network struct {
 	track      *NetSnapshot
 	linksDirty bool
 
+	// lf holds the armed per-link corruption/duplication faults; zero
+	// value means disarmed (one bool check per send).
+	lf linkFaults
+
 	// freeMsgs recycles Message objects: a message's lifetime ends when
 	// delivery (or a drop) resolves, so the in-flight set is small and
 	// per-send allocation is avoidable. Interceptors must not retain
@@ -120,6 +134,64 @@ type Network struct {
 }
 
 type linkKey struct{ from, to Addr }
+
+// AnyAddr wildcards one side of a link-fault victim selector.
+const AnyAddr Addr = -1
+
+// Injection points consulted per matching send by armed link faults. A
+// rule on PointLinkCorrupt whose decision is ActCorrupt garbles the
+// payload through the armed Corrupter; any firing rule on PointLinkDup
+// injects a duplicate delivery.
+const (
+	PointLinkCorrupt = "link.corrupt"
+	PointLinkDup     = "link.dup"
+)
+
+// Corrupter rewrites a payload into a garbled variant. It must return a
+// new value — payload objects are shared with the sender and with
+// snapshot clones, so mutating in place would corrupt the past. Returning
+// nil declines (the message is delivered untouched and not counted).
+type Corrupter func(from, to Addr, payload any) any
+
+// linkFaults is the armed per-link fault state: a victim link selector
+// (AnyAddr wildcards), a faultinject plan consulted through resolved
+// point handles, and the corrupter that knows the target's payload types.
+type linkFaults struct {
+	armed     bool
+	from, to  Addr
+	corrupter Corrupter
+	inj       *faultinject.Injector
+	corrupt   *faultinject.Point
+	dup       *faultinject.Point
+}
+
+func (lf *linkFaults) matches(from, to Addr) bool {
+	return (lf.from == AnyAddr || lf.from == from) && (lf.to == AnyAddr || lf.to == to)
+}
+
+// ArmLinkFaults installs deterministic corruption/duplication on the
+// directed link from->to (AnyAddr wildcards either side). The plan's
+// rules on PointLinkCorrupt and PointLinkDup are consulted once per
+// matching send, so call numbering — and therefore the fault schedule —
+// is a pure function of the scenario, exactly like the paper's
+// MAC-corruption tool. Arming replaces any previously armed faults and
+// restarts call numbering; Restore rolls faults back to their state at
+// snapshot time.
+func (n *Network) ArmLinkFaults(from, to Addr, plan faultinject.Plan, c Corrupter) {
+	inj := faultinject.NewInjector(plan)
+	n.lf = linkFaults{
+		armed:     true,
+		from:      from,
+		to:        to,
+		corrupter: c,
+		inj:       inj,
+		corrupt:   inj.Point(PointLinkCorrupt),
+		dup:       inj.Point(PointLinkDup),
+	}
+}
+
+// DisarmLinkFaults removes armed link faults.
+func (n *Network) DisarmLinkFaults() { n.lf = linkFaults{} }
 
 // CloneSimArg implements sim.ArgCloner: in-flight message envelopes are
 // pooled (recycled at delivery), so an engine snapshot detaches a copy
@@ -259,6 +331,20 @@ func (n *Network) Send(from, to Addr, payload any) {
 			return
 		}
 	}
+	// Link faults garble before the loss roll, so a corrupt-then-dropped
+	// message increments Corrupted and Dropped once each.
+	duplicate := false
+	if n.lf.armed && n.lf.matches(from, to) {
+		if dec := n.lf.corrupt.Check(); dec.Action == faultinject.ActCorrupt && n.lf.corrupter != nil {
+			if p := n.lf.corrupter(from, to, m.Payload); p != nil {
+				m.Payload = p
+				n.stats.Corrupted++
+			}
+		}
+		if dec := n.lf.dup.Check(); dec.Action != faultinject.ActNone {
+			duplicate = true
+		}
+	}
 	if n.cfg.DropRate > 0 && n.eng.Rand().Float64() < n.cfg.DropRate {
 		n.stats.Dropped++
 		n.putMsg(m)
@@ -275,6 +361,15 @@ func (n *Network) Send(from, to Addr, payload any) {
 	}
 	d += m.ExtraDelay
 	n.eng.ScheduleCall(d, n.deliverFn, m)
+	if duplicate {
+		// The duplicate rides the same latency and is queued after the
+		// original (same at, later seq), so it arrives immediately behind
+		// it — the classic at-least-once delivery fault.
+		dm := n.getMsg()
+		*dm = *m
+		n.stats.Duplicated++
+		n.eng.ScheduleCall(d, n.deliverFn, dm)
+	}
 }
 
 func (n *Network) getMsg() *Message {
@@ -304,6 +399,11 @@ type NetSnapshot struct {
 	linkLatency  map[linkKey]time.Duration
 	interceptors int
 	closed       bool
+	// Link-fault state: the struct copy shares the injector pointer, so
+	// the per-point call counters are captured separately and rolled back
+	// through it on Restore.
+	lf      linkFaults
+	lfCalls map[string]uint64
 }
 
 // Snapshot captures the network state (excluding the handler table,
@@ -317,6 +417,10 @@ func (n *Network) Snapshot() *NetSnapshot {
 		linkLatency:  make(map[linkKey]time.Duration, len(n.linkLatency)),
 		interceptors: len(n.interceptors),
 		closed:       n.closed,
+		lf:           n.lf,
+	}
+	if n.lf.inj != nil {
+		s.lfCalls = n.lf.inj.CounterSnapshot()
 	}
 	for k, v := range n.blocked {
 		s.blocked[k] = v
@@ -336,6 +440,10 @@ func (n *Network) Snapshot() *NetSnapshot {
 func (n *Network) Restore(s *NetSnapshot) {
 	n.stats = s.stats
 	n.closed = s.closed
+	n.lf = s.lf
+	if n.lf.inj != nil {
+		n.lf.inj.RestoreCounters(s.lfCalls)
+	}
 	if s != n.track || n.linksDirty {
 		clear(n.blocked)
 		for k, v := range s.blocked {

@@ -17,15 +17,21 @@ import (
 
 // WriteCampaignCSV writes one row per executed test: iteration, scenario
 // parameters, impact, throughput, latency, crash/view-change counters,
-// and the oracle invariants the run violated (semicolon-joined).
+// injected crash-restart activity, degraded-test markers, and the oracle
+// invariants the run violated (semicolon-joined).
 func WriteCampaignCSV(w io.Writer, label string, results []core.Result) error {
-	if _, err := fmt.Fprintln(w, "strategy,iteration,scenario,impact,throughput_rps,baseline_rps,avg_latency_s,crashed_replicas,view_changes,generator,violations"); err != nil {
+	if _, err := fmt.Fprintln(w, "strategy,iteration,scenario,impact,throughput_rps,baseline_rps,avg_latency_s,crashed_replicas,view_changes,injected_crashes,restarts,hung,error,generator,violations"); err != nil {
 		return err
 	}
 	for i, r := range results {
-		_, err := fmt.Fprintf(w, "%s,%d,%q,%.4f,%.1f,%.1f,%.4f,%d,%d,%s,%s\n",
+		errLine := r.Error
+		if nl := strings.IndexByte(errLine, '\n'); nl >= 0 {
+			errLine = errLine[:nl] // keep the message, drop the stack trace
+		}
+		_, err := fmt.Fprintf(w, "%s,%d,%q,%.4f,%.1f,%.1f,%.4f,%d,%d,%d,%d,%t,%q,%s,%s\n",
 			label, i+1, r.Scenario.Key(), r.Impact, r.Throughput, r.BaselineThroughput,
-			r.AvgLatency.Seconds(), r.CrashedReplicas, r.ViewChanges, r.Generator,
+			r.AvgLatency.Seconds(), r.CrashedReplicas, r.ViewChanges,
+			r.InjectedCrashes, r.Restarts, r.Hung, errLine, r.Generator,
 			strings.Join(oracle.Names(r.Violations), ";"))
 		if err != nil {
 			return err
@@ -303,6 +309,24 @@ func SummarizeCampaign(w io.Writer, label string, results []core.Result) {
 			parts[i] = fmt.Sprintf("%s (%d tests)", inv, counts[inv])
 		}
 		fmt.Fprintf(w, "  oracle violations: %s\n", strings.Join(parts, ", "))
+	}
+	// Injected crash-restart fault activity and degraded tests.
+	var crashes, restarts uint64
+	hung, errored := 0, 0
+	for _, r := range results {
+		crashes += r.InjectedCrashes
+		restarts += r.Restarts
+		if r.Hung {
+			hung++
+		} else if r.Error != "" {
+			errored++
+		}
+	}
+	if crashes > 0 || restarts > 0 {
+		fmt.Fprintf(w, "  injected crashes: %d (restarts %d)\n", crashes, restarts)
+	}
+	if hung > 0 || errored > 0 {
+		fmt.Fprintf(w, "  degraded tests: %d hung, %d errored (campaign continued)\n", hung, errored)
 	}
 }
 
