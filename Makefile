@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet lint fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the repository's own static-analysis suite (cmd/avdlint):
+# determinism contracts, snapshot completeness and Result/codec coverage.
+# Exit status 2 on any unsuppressed finding; see DESIGN.md §11 for the
+# //avdlint:allow / //avdlint:derived / //avdlint:ephemeral suppression
+# syntax. `make lint LINTFLAGS='-v'` also prints suppressed findings.
+lint:
+	$(GO) run ./cmd/avdlint $(LINTFLAGS) ./...
+
+fmt:
+	gofmt -l -w .
+
+check: build vet lint test

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"avd/internal/core"
+	"avd/internal/metrics"
 	"avd/internal/oracle"
 	"avd/internal/pbft"
 	"avd/internal/plugin"
@@ -237,8 +238,8 @@ func (r *Runner) runScoredExtra(sc scenario.Scenario, fork bool, extra ...oracle
 		res, rep = r.execute(sc, correct, true, extra...)
 	}
 	baseline := r.Baseline(correct)
-	analyzeStart := time.Now()
-	defer func() { r.phases.AddAnalyze(time.Since(analyzeStart)) }()
+	analyzeStart := metrics.StartWatch()
+	defer func() { r.phases.AddAnalyze(analyzeStart.Elapsed()) }()
 	res.BaselineThroughput = baseline
 	if baseline > 0 {
 		ref := baseline
@@ -274,8 +275,8 @@ func (r *Runner) Baseline(correctClients int64) float64 {
 }
 
 func (r *Runner) measureBaseline(correctClients int64) float64 {
-	start := time.Now()
-	defer func() { r.phases.AddBaseline(time.Since(start)) }()
+	start := metrics.StartWatch()
+	defer func() { r.phases.AddBaseline(start.Elapsed()) }()
 	empty := scenario.MustNewSpace(scenario.Dimension{
 		Name: plugin.DimCorrectClients, Min: correctClients, Max: correctClients, Step: 1,
 	}).New(nil)
@@ -314,13 +315,13 @@ func (r *Runner) Prepare(sc scenario.Scenario) {
 	correct := sc.GetOr(plugin.DimCorrectClients, 10)
 	key := masterKey{correct: correct, malicious: armedMalicious(sc, true)}
 	r.masters.Prepare(key, func() *deployment {
-		start := time.Now()
+		start := metrics.StartWatch()
 		d := r.newDeployment(key.correct, key.malicious)
 		d.eng.RunFor(r.w.Warmup)
-		r.phases.AddWarmup(time.Since(start))
-		forkStart := time.Now()
+		r.phases.AddWarmup(start.Elapsed())
+		forkStart := metrics.StartWatch()
 		d.capture()
-		r.phases.AddFork(time.Since(forkStart))
+		r.phases.AddFork(forkStart.Elapsed())
 		return d
 	})
 	r.Baseline(correct)
@@ -349,24 +350,24 @@ func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults 
 func (r *Runner) executeFork(sc scenario.Scenario, correctClients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
 	key := masterKey{correct: correctClients, malicious: armedMalicious(sc, withFaults)}
 	d := r.masters.Acquire(key, func() *deployment {
-		start := time.Now()
-		defer func() { r.phases.AddWarmup(time.Since(start)) }()
+		start := metrics.StartWatch()
+		defer func() { r.phases.AddWarmup(start.Elapsed()) }()
 		d := r.newDeployment(key.correct, key.malicious)
 		d.eng.RunFor(r.w.Warmup)
 		return d
 	})
 	defer r.masters.Release(key, d)
-	forkStart := time.Now()
+	forkStart := metrics.StartWatch()
 	if d.snap == nil {
 		d.capture()
 	} else {
 		d.restore()
 	}
 	d.arm(sc, withFaults, extra...)
-	r.phases.AddFork(time.Since(forkStart))
-	runStart := time.Now()
+	r.phases.AddFork(forkStart.Elapsed())
+	runStart := metrics.StartWatch()
 	res, rep := d.measure(sc)
-	r.phases.AddRun(time.Since(runStart))
+	r.phases.AddRun(runStart.Elapsed())
 	return res, rep
 }
 

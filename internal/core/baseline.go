@@ -44,6 +44,7 @@ func (c *BaselineCache) Warm(keys []int64, measure func(key int64) float64) {
 		}
 		uniq[k] = true
 		wg.Add(1)
+		//avdlint:allow baseline warmers fan out over distinct cache keys; each engine stays single-goroutine
 		go func(k int64) {
 			defer wg.Done()
 			c.Get(k, measure)

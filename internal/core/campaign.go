@@ -117,6 +117,7 @@ func ParallelCampaignWithObserver(ex Explorer, runner Runner, budget, workers in
 		var wg sync.WaitGroup
 		for i := range batch {
 			wg.Add(1)
+			//avdlint:allow campaign worker pool: tests are independent and each owns a private cluster
 			go func(i int) {
 				defer wg.Done()
 				out[i] = runner.Run(batch[i])
@@ -164,6 +165,7 @@ func Sweep(scenarios []scenario.Scenario, runner Runner, workers int, generator 
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//avdlint:allow campaign worker pool: tests are independent and each owns a private cluster
 		go func() {
 			defer wg.Done()
 			for i := range next {

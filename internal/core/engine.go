@@ -249,6 +249,7 @@ func (e *Engine) Run(ctx context.Context) <-chan Result {
 		close(out)
 		return out
 	}
+	//avdlint:allow result pump: forwards finished Results to the caller; simulation state stays on the workers
 	go func() {
 		defer close(out)
 		e.drive(ctx, func(res Result) bool {
@@ -413,6 +414,7 @@ func (e *Engine) drive(ctx context.Context, emit func(Result) bool) {
 				// cold cache it builds its own).
 				for _, sc := range live {
 					prepWG.Add(1)
+					//avdlint:allow prefetch pool: Prepare is observably idempotent (memoized masters and baselines)
 					go func(sc scenario.Scenario) {
 						defer prepWG.Done()
 						preparer.Prepare(sc)
@@ -428,6 +430,7 @@ func (e *Engine) drive(ctx context.Context, emit func(Result) bool) {
 			var wg sync.WaitGroup
 			for i := range live {
 				wg.Add(1)
+				//avdlint:allow campaign worker pool: tests are independent and each owns a private cluster
 				go func(i int) {
 					defer wg.Done()
 					results[replayed+i] = safeRun(runFn, live[i])

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runFixture loads a fixture module under testdata/src, runs the given
+// analyzers, and matches unsuppressed diagnostics against `// want "sub"`
+// comments (analysistest-style, substring match on the same line). Every
+// diagnostic needs a want and every want needs a diagnostic.
+func runFixture(t *testing.T, module string, analyzers ...*Analyzer) {
+	t.Helper()
+	prog, err := Load(filepath.Join("testdata", "src", module), "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", module, err)
+	}
+	rep := RunAnalyzers(prog, analyzers...)
+
+	type site struct {
+		file string
+		line int
+	}
+	type want struct {
+		sub     string
+		matched bool
+	}
+	wants := make(map[site][]*want)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					sub, err := strconv.Unquote(strings.TrimSpace(rest))
+					if err != nil {
+						pos := prog.Fset.Position(c.Pos())
+						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+					}
+					pos := prog.Fset.Position(c.Pos())
+					s := site{pos.Filename, pos.Line}
+					wants[s] = append(wants[s], &want{sub: sub})
+				}
+			}
+		}
+	}
+
+	for _, d := range rep.Unsuppressed() {
+		s := site{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, w := range wants[s] {
+			if !w.matched && strings.Contains(d.Message, w.sub) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s", filepath.Base(s.file), s.line, d.Analyzer, d.Message)
+		}
+	}
+	for s, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s:%d: want message containing %q", filepath.Base(s.file), s.line, w.sub)
+			}
+		}
+	}
+}
+
+func TestNondetFixture(t *testing.T) {
+	runFixture(t, "nondetfix", NewNondet("nondetfix/det"))
+}
+
+func TestSnapCoverFixture(t *testing.T) {
+	runFixture(t, "snapfix", NewSnapCover())
+}
+
+func TestResultCovFixture(t *testing.T) {
+	runFixture(t, "codecfix", NewResultCov(CodecSpec{
+		Struct: "codecfix.Result",
+		Sinks: []CodecSplitSink{
+			{Name: "csv writer", Funcs: []string{"codecfix.WriteCSV"}},
+			{Name: "campaign summary", Funcs: []string{"codecfix.Summarize"}},
+		},
+	}))
+}

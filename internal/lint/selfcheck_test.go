@@ -1,0 +1,23 @@
+package lint
+
+import "testing"
+
+// TestRepoSelfCheck runs the full avdlint suite over this repository and
+// requires zero unannotated findings — the same gate CI applies via
+// cmd/avdlint. A new wall-clock read, unsorted map iteration with
+// observable effects, uncovered snapshot field or dropped Result field
+// fails this test until it is either fixed or suppressed with a reasoned
+// //avdlint directive.
+func TestRepoSelfCheck(t *testing.T) {
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	rep := RunAnalyzers(prog, NewNondet(), NewSnapCover(), NewResultCov(CodecSpec{}))
+	for _, d := range rep.Unsuppressed() {
+		t.Errorf("%s", d.String())
+	}
+	if t.Failed() {
+		t.Log("fix the finding or annotate it: //avdlint:allow <reason> on the line, //avdlint:derived|ephemeral <reason> on the field (see DESIGN.md §11)")
+	}
+}

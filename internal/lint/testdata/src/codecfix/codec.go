@@ -1,0 +1,37 @@
+// Package codecfix is the resultcov analyzer's fixture: a Result struct
+// with two serialization sinks, one of which drops fields.
+package codecfix
+
+import (
+	"fmt"
+	"io"
+)
+
+// Result is the record every sink must carry in full.
+type Result struct {
+	Impact     float64
+	Throughput float64
+	// Latency reaches the CSV but not the summary.
+	Latency float64 // want "never reaches the campaign summary"
+	//avdlint:ephemeral debug-only field, intentionally absent from both sinks
+	DebugNote string
+}
+
+// WriteCSV is the csv sink; it covers everything but DebugNote.
+func WriteCSV(w io.Writer, rs []Result) {
+	for _, r := range rs {
+		fmt.Fprintf(w, "%f,%f,%f\n", r.Impact, r.Throughput, r.Latency)
+	}
+}
+
+// Summarize is the summary sink; it drops Latency via a helper so the
+// analyzer's transitive closure is what keeps Impact/Throughput covered.
+func Summarize(w io.Writer, rs []Result) {
+	for _, r := range rs {
+		writeLine(w, r)
+	}
+}
+
+func writeLine(w io.Writer, r Result) {
+	fmt.Fprintf(w, "impact %f at %f rps\n", r.Impact, r.Throughput)
+}

@@ -1,0 +1,3 @@
+module codecfix
+
+go 1.21

@@ -1,0 +1,93 @@
+// Package det is the nondet analyzer's fixture: a package declared
+// deterministic, exercising every hazard class and every escape hatch.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type engine struct {
+	seq   int
+	sends []int
+}
+
+func (e *engine) send(x int) {
+	e.seq++
+	e.sends = append(e.sends, x)
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func wallClockSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock"
+}
+
+func wallClockAllowed() time.Time {
+	//avdlint:allow telemetry only, nothing simulated branches on it
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Int() // want "global math/rand"
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Int() // methods on an owned *rand.Rand are seeded and fine
+}
+
+func spawn() {
+	go func() {}() // want "goroutine spawn"
+}
+
+func spawnAllowed() {
+	//avdlint:allow audited worker pool; results are order-insensitive
+	go func() {}()
+}
+
+func mapOrderSend(e *engine, m map[int]int) {
+	for k := range m { // want "map iteration"
+		e.send(k)
+	}
+}
+
+func mapOrderAccumulate(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer accumulation commutes: no finding
+	}
+	return total
+}
+
+func mapOrderSorted(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: no finding
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func mapOrderUnsortedAppend(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "map iteration"
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapOrderLocalWrite(m map[int]*engine) {
+	for _, e := range m {
+		e.seq = 0 // write through the per-iteration range var: no finding
+	}
+}
+
+func mapOrderAllowed(e *engine, m map[int]int) {
+	//avdlint:allow fixture: provably order-neutral by construction
+	for k := range m {
+		e.send(k)
+	}
+}

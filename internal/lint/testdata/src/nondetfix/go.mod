@@ -1,0 +1,3 @@
+module nondetfix
+
+go 1.21

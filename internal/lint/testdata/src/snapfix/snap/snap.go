@@ -1,0 +1,58 @@
+// Package snap is the snapcover analyzer's fixture: a Node with a
+// Snapshot/Restore pair whose coverage is deliberately incomplete.
+// Deleting a field from Restore (or adding a new mutable field without
+// touching the pair) must produce a finding here.
+package snap
+
+// Node mimics a protocol state machine that forks via Snapshot/Restore.
+type Node struct {
+	term int
+	log  []int
+	// scratch is mutated at runtime and covered by neither method.
+	scratch []int // want "covered by neither"
+	// dropped is captured but missing from Restore.
+	dropped int // want "never restored"
+	// refilled is written by Restore but never captured.
+	refilled int // want "never captured"
+	//avdlint:derived rebuilt lazily from log; forks may safely drop it
+	cache map[int]int
+	// cfg is set once by New and never mutated: no finding.
+	cfg int
+}
+
+// New is a constructor: its writes are initialization, not mutation.
+func New(cfg int) *Node {
+	n := &Node{cfg: cfg, cache: make(map[int]int)}
+	n.refilled = cfg
+	return n
+}
+
+// Step mutates every runtime field.
+func (n *Node) Step(x int) {
+	n.term++
+	n.log = append(n.log, x)
+	n.scratch = append(n.scratch, x)
+	n.dropped = x
+	n.refilled += x
+	n.cache[x] = n.cfg
+}
+
+// NodeSnap is the captured state.
+type NodeSnap struct {
+	term    int
+	log     []int
+	dropped int
+}
+
+// Snapshot captures term, log and dropped — but not scratch.
+func (n *Node) Snapshot() NodeSnap {
+	return NodeSnap{term: n.term, log: append([]int(nil), n.log...), dropped: n.dropped}
+}
+
+// Restore rolls back term and log, forgets dropped, and resets refilled
+// without a captured source.
+func (n *Node) Restore(s NodeSnap) {
+	n.term = s.term
+	n.log = append(n.log[:0], s.log...)
+	n.refilled = 0
+}

@@ -177,3 +177,23 @@ func (t Throughput) PerSecond() float64 {
 	}
 	return float64(t.Completed) / t.Window.Seconds()
 }
+
+// Stopwatch measures host wall-clock phase durations for campaign
+// telemetry (warmup/fork/run/analyze breakdowns). It exists so that the
+// deterministic packages never call time.Now themselves: simulation
+// logic must read the engine's virtual clock, and avdlint's nondet
+// analyzer flags direct wall-clock reads there. Stopwatch durations are
+// observability only — nothing simulated may branch on them.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartWatch starts a wall-clock stopwatch.
+func StartWatch() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall-clock time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}

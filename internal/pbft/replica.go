@@ -235,6 +235,7 @@ type Replica struct {
 	log        map[uint64]*logEntry
 	// entryFree recycles log entries (and their vote-set backing) across
 	// watermark advances and snapshot restores.
+	//avdlint:derived free list: Restore rebuilds it from the entries the snapshot's log no longer references
 	entryFree []*logEntry
 
 	// Primary batching state. admitted records, densely by client
@@ -265,6 +266,7 @@ type Replica struct {
 
 	// Checkpoints: seq -> per-replica digest votes (pooled via ckptFree).
 	checkpoints map[uint64]*voteSet
+	//avdlint:derived free list: Restore rebuilds it from the vote sets the snapshot's checkpoints no longer reference
 	ckptFree    []*voteSet
 	stateDigest uint64
 
@@ -299,19 +301,20 @@ type Replica struct {
 	// derivation runs once per reply and once per MAC verification
 	// otherwise). The zero Key marks "not derived yet": pairwise keys are
 	// folded FNV states, for which zero does not occur in practice.
+	//avdlint:derived pairwise-key cache: entries re-derive deterministically from (replica, client) identity
 	clientKeys []mac.Key
 
 	// Rewindable bump slabs for protocol objects built on the agreement
 	// hot path (see slab). auths backs authenticator vectors, N tags at
 	// a time. Snapshot captures each slab's mark and Restore rewinds it:
 	// a fork reuses the previous window's memory.
-	replySlab  slab[Reply]
-	prepSlab   slab[Prepare]
-	commitSlab slab[Commit]
-	ppSlab     slab[PrePrepare]
-	fwSlab     slab[forwarded]
-	fwdMsgSlab slab[ForwardedRequest]
-	auths      tagSlab
+	replySlab  slab[Reply]            //avdlint:derived slab storage: Snapshot/Restore track the mark; Crash/Restart rebuild from durable state
+	prepSlab   slab[Prepare]          //avdlint:derived slab storage: Snapshot/Restore track the mark; Crash/Restart rebuild from durable state
+	commitSlab slab[Commit]           //avdlint:derived slab storage: Snapshot/Restore track the mark; Crash/Restart rebuild from durable state
+	ppSlab     slab[PrePrepare]       //avdlint:derived slab storage: Snapshot/Restore track the mark; Crash/Restart rebuild from durable state
+	fwSlab     slab[forwarded]        //avdlint:derived slab storage: Snapshot/Restore track the mark; Crash/Restart rebuild from durable state
+	fwdMsgSlab slab[ForwardedRequest] //avdlint:derived slab storage: Snapshot/Restore track the mark; Crash/Restart rebuild from durable state
+	auths      tagSlab                //avdlint:derived slab storage: Snapshot/Restore track the mark; Crash/Restart rebuild from durable state
 
 	// commitObserver, when set, observes every batch execution: the
 	// sequence number and the batch digest this replica committed there.
@@ -565,10 +568,12 @@ func (r *Replica) Crash(keepDurable bool) bool {
 	if keepDurable {
 		return true
 	}
+	//avdlint:allow crash wipe: freed entries are fully reset on reuse, so drain order is not observable
 	for seq, e := range r.log {
 		r.freeEntry(e)
 		delete(r.log, seq)
 	}
+	//avdlint:allow crash wipe: freed vote sets are fully reset on reuse, so drain order is not observable
 	for seq, cs := range r.checkpoints {
 		r.freeCkptSet(cs)
 		delete(r.checkpoints, seq)
@@ -1183,6 +1188,7 @@ func (r *Replica) onRequestTimerFired() {
 
 func (r *Replica) stopAllRequestTimers() {
 	r.singleTimer.Stop()
+	//avdlint:allow timer teardown: Stop cancels by handle and the engine orders events by (at, seq), not cancellation order
 	for k, t := range r.reqTimers {
 		t.Stop()
 		delete(r.reqTimers, k)
@@ -1238,12 +1244,14 @@ func (r *Replica) advanceWatermark(stable uint64) {
 		return
 	}
 	r.lowWater = stable
+	//avdlint:allow watermark GC: freed entries are fully reset on reuse, so drain order is not observable
 	for seq, e := range r.log {
 		if seq <= stable {
 			r.freeEntry(e)
 			delete(r.log, seq)
 		}
 	}
+	//avdlint:allow watermark GC: freed vote sets are fully reset on reuse, so drain order is not observable
 	for seq, cs := range r.checkpoints {
 		if seq < stable {
 			r.freeCkptSet(cs)

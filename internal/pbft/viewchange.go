@@ -23,6 +23,7 @@ func (r *Replica) startViewChange(target uint64) {
 	// walk crashes. This is the "view change and crash" the paper
 	// reports for MAC-corruption attacks.
 	if r.crashOnBadReproposal {
+		//avdlint:allow crash fires iff any log entry is poisoned; the verdict and message are order-independent
 		for _, e := range r.log {
 			if !e.executed && e.poisoned() {
 				r.crash("view-change assembly dereferenced an unauthenticated batch")
@@ -60,6 +61,7 @@ func (r *Replica) startViewChange(target uint64) {
 // watermark.
 func (r *Replica) preparedProofs() []PreparedProof {
 	var proofs []PreparedProof
+	//avdlint:allow per-entry proof assembly reads only that entry; proofs are sorted by SeqNo before use
 	for seq, e := range r.log {
 		if seq <= r.lowWater || !e.prepared {
 			continue
@@ -175,7 +177,19 @@ func (r *Replica) maybeAssembleNewView(target uint64) {
 func (r *Replica) computeNewViewSets(byReplica map[int]*ViewChange) (uint64, []*PrePrepare) {
 	var minS, maxS uint64
 	best := make(map[uint64]*PrePrepare) // seq -> highest-view prepared pre-prepare
-	for _, vc := range byReplica {
+	// Iterate in replica-id order. With a Byzantine primary equivocating
+	// inside a view, a quorum can hold two prepared proofs for the same
+	// (seq, view) with different digests; the strict View comparison below
+	// then keeps whichever proof the iteration saw first, so map order
+	// would decide which batch the new view re-proposes — cold and forked
+	// runs of the same scenario could install different histories.
+	reps := make([]int, 0, len(byReplica))
+	for rep := range byReplica {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+	for _, rep := range reps {
+		vc := byReplica[rep]
 		if vc.LastStable > minS {
 			minS = vc.LastStable
 		}
@@ -325,12 +339,20 @@ func (r *Replica) enterView(target uint64) {
 	}
 	// Drop un-executed agreement state from prior views; the new-view
 	// re-proposals are authoritative. Entries from this view (just
-	// installed by the primary path) stay.
+	// installed by the primary path) stay. Free in sorted sequence order:
+	// the entry pool recycles LIFO, so the order entries are freed decides
+	// which backing objects later allocations receive, and replayed forks
+	// must hand them out identically.
+	drop := make([]uint64, 0, len(r.log))
 	for seq, e := range r.log {
 		if e.executed || e.view >= target {
 			continue
 		}
-		r.freeEntry(e)
+		drop = append(drop, seq)
+	}
+	sort.Slice(drop, func(i, j int) bool { return drop[i] < drop[j] })
+	for _, seq := range drop {
+		r.freeEntry(r.log[seq])
 		delete(r.log, seq)
 	}
 	// Poisoned-slot bookkeeping refers to entries we just dropped; the

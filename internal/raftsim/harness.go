@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"avd/internal/core"
+	"avd/internal/metrics"
 	"avd/internal/oracle"
 	"avd/internal/scenario"
 	"avd/internal/sim"
@@ -172,8 +173,8 @@ func (r *Runner) runScored(sc scenario.Scenario, fork bool, rec *oracle.Recorder
 		res, rep = r.execute(sc, clients, true, extra...)
 	}
 	baseline := r.Baseline(clients)
-	analyzeStart := time.Now()
-	defer func() { r.phases.AddAnalyze(time.Since(analyzeStart)) }()
+	analyzeStart := metrics.StartWatch()
+	defer func() { r.phases.AddAnalyze(analyzeStart.Elapsed()) }()
 	res.BaselineThroughput = baseline
 	if baseline > 0 {
 		tputImpact := 1 - res.Throughput/baseline
@@ -203,8 +204,8 @@ func (r *Runner) Baseline(clients int64) float64 {
 }
 
 func (r *Runner) measureBaseline(clients int64) float64 {
-	start := time.Now()
-	defer func() { r.phases.AddBaseline(time.Since(start)) }()
+	start := metrics.StartWatch()
+	defer func() { r.phases.AddBaseline(start.Elapsed()) }()
 	empty := scenario.MustNewSpace(scenario.Dimension{
 		Name: DimClients, Min: clients, Max: clients, Step: 1,
 	}).New(nil)
@@ -235,13 +236,13 @@ var _ core.Preparer = (*Runner)(nil)
 func (r *Runner) Prepare(sc scenario.Scenario) {
 	clients := sc.GetOr(DimClients, 10)
 	r.masters.Prepare(clients, func() *deployment {
-		start := time.Now()
+		start := metrics.StartWatch()
 		d := r.newDeployment(clients)
 		d.eng.RunFor(r.w.Warmup)
-		r.phases.AddWarmup(time.Since(start))
-		forkStart := time.Now()
+		r.phases.AddWarmup(start.Elapsed())
+		forkStart := metrics.StartWatch()
 		d.capture()
-		r.phases.AddFork(time.Since(forkStart))
+		r.phases.AddFork(forkStart.Elapsed())
 		return d
 	})
 	r.Baseline(clients)
@@ -417,24 +418,24 @@ func (r *Runner) execute(sc scenario.Scenario, clients int64, withFaults bool, e
 // the client count.
 func (r *Runner) executeFork(sc scenario.Scenario, clients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
 	d := r.masters.Acquire(clients, func() *deployment {
-		start := time.Now()
-		defer func() { r.phases.AddWarmup(time.Since(start)) }()
+		start := metrics.StartWatch()
+		defer func() { r.phases.AddWarmup(start.Elapsed()) }()
 		d := r.newDeployment(clients)
 		d.eng.RunFor(r.w.Warmup)
 		return d
 	})
 	defer r.masters.Release(clients, d)
-	forkStart := time.Now()
+	forkStart := metrics.StartWatch()
 	if d.snap == nil {
 		d.capture()
 	} else {
 		d.restore()
 	}
 	d.arm(sc, withFaults, extra...)
-	r.phases.AddFork(time.Since(forkStart))
-	runStart := time.Now()
+	r.phases.AddFork(forkStart.Elapsed())
+	runStart := metrics.StartWatch()
 	res, rep := d.measure(sc)
-	r.phases.AddRun(time.Since(runStart))
+	r.phases.AddRun(runStart.Elapsed())
 	return res, rep
 }
 

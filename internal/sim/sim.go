@@ -206,9 +206,10 @@ const (
 // all interaction must happen from the goroutine driving Run/Step, which is
 // also the goroutine on which event callbacks execute.
 type Engine struct {
-	now       Time
-	heap      []node          // 4-ary min-heap by (at, seq), for irregular delays
-	lanes     []*lane         // FIFO fast paths for recurring delays (≤ maxLanes, scanned linearly)
+	now   Time
+	heap  []node  // 4-ary min-heap by (at, seq), for irregular delays
+	lanes []*lane // FIFO fast paths for recurring delays (≤ maxLanes, scanned linearly)
+	//avdlint:derived scheduling heuristic: lane vs heap placement preserves (at, seq) order either way
 	delayHits map[Time]uint32 // lane-promotion counters
 	arena     []event         // slot storage; queue nodes and Timers index into it
 	free      []int32         // recycled arena slots
@@ -217,7 +218,7 @@ type Engine struct {
 	seed      int64
 	src       *splitmixSource
 	rng       *rand.Rand
-	stopped   bool
+	stopped   bool //avdlint:ephemeral run-scoped stop latch: Restore re-arms the engine so every fork starts runnable
 
 	// Dirty tracking for delta Restore: track is the snapshot deltas are
 	// recorded against (nil disables tracking entirely — engines that

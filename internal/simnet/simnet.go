@@ -103,6 +103,7 @@ type Network struct {
 	// handlers is indexed by Addr: node addresses are small and dense,
 	// and the per-delivery lookup is hot enough that a map showed up in
 	// deployment profiles.
+	//avdlint:derived deployment wiring: Register runs during cluster build, before the first snapshot
 	handlers     []Handler
 	interceptors []Interceptor
 	linkLatency  map[linkKey]time.Duration
@@ -127,6 +128,7 @@ type Network struct {
 	// delivery (or a drop) resolves, so the in-flight set is small and
 	// per-send allocation is avoidable. Interceptors must not retain
 	// *Message beyond Intercept.
+	//avdlint:ephemeral message pool: lifetimes end at delivery resolution, so no pooled entry crosses a fork live
 	freeMsgs []*Message
 	// deliverFn is the pre-bound delivery callback handed to
 	// sim.Engine.ScheduleCall, avoiding a closure allocation per send.

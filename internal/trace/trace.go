@@ -287,6 +287,36 @@ func SummarizeCampaign(w io.Writer, label string, results []core.Result) {
 		label, len(results), final.Impact, final.Throughput, final.BaselineThroughput,
 		final.AvgLatency.Round(time.Millisecond))
 	fmt.Fprintf(w, "  best scenario: %s\n", final.Scenario.Key())
+	if final.CrashedReplicas > 0 || final.ViewChanges > 0 {
+		fmt.Fprintf(w, "  best-test protocol damage: %d crashed replicas, %d view changes\n",
+			final.CrashedReplicas, final.ViewChanges)
+	}
+	// Per-generator test counts and best impact, in first-seen order, so
+	// mixed campaigns (random + exhaustive refinement) show where the
+	// winning scenarios came from.
+	genCounts := make(map[string]int)
+	genBest := make(map[string]float64)
+	var genOrder []string
+	for _, r := range results {
+		g := r.Generator
+		if g == "" {
+			continue
+		}
+		if genCounts[g] == 0 {
+			genOrder = append(genOrder, g)
+		}
+		genCounts[g]++
+		if r.Impact > genBest[g] {
+			genBest[g] = r.Impact
+		}
+	}
+	if len(genOrder) > 0 {
+		parts := make([]string, len(genOrder))
+		for i, g := range genOrder {
+			parts[i] = fmt.Sprintf("%s (%d tests, best %.3f)", g, genCounts[g], genBest[g])
+		}
+		fmt.Fprintf(w, "  generators: %s\n", strings.Join(parts, ", "))
+	}
 	if n := core.TestsToImpact(results, 0.9); n > 0 {
 		fmt.Fprintf(w, "  impact >= 0.90 first reached at test %d\n", n)
 	} else {
