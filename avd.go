@@ -74,6 +74,20 @@ type (
 	Genetic = core.Genetic
 	// GeneticConfig tunes the genetic explorer.
 	GeneticConfig = core.GeneticConfig
+	// CoverageExplorer is the coverage-guided greybox explorer: it
+	// schedules mutations of corpus scenarios whose abstract event
+	// timelines exhibited never-seen behavior digests (DESIGN.md §12).
+	CoverageExplorer = core.CoverageExplorer
+	// CoverageConfig tunes the coverage-guided explorer.
+	CoverageConfig = core.CoverageConfig
+	// Corpus is the archive of behavior-novel scenarios the coverage
+	// explorer mutates.
+	Corpus = core.Corpus
+	// CorpusEntry is one retained scenario with its scheduling energy.
+	CorpusEntry = core.CorpusEntry
+	// Coverage is one run's abstract-timeline digest, carried on
+	// Result.Coverage and persisted in checkpoints.
+	Coverage = oracle.Coverage
 	// Scenario is one point of the test-parameter hyperspace.
 	Scenario = scenario.Scenario
 	// CompactKey is the packed, allocation-free scenario identity used
@@ -149,6 +163,15 @@ func NewRandomExplorer(space *Space, seed int64) Explorer {
 func NewGenetic(cfg GeneticConfig, plugins ...Plugin) (*Genetic, error) {
 	return core.NewGenetic(cfg, plugins...)
 }
+
+// NewCoverageExplorer builds the coverage-guided explorer over the
+// plugins' composed hyperspace.
+func NewCoverageExplorer(cfg CoverageConfig, plugins ...Plugin) (*CoverageExplorer, error) {
+	return core.NewCoverageExplorer(cfg, plugins...)
+}
+
+// NewCorpus returns an empty coverage corpus.
+func NewCorpus() *Corpus { return core.NewCorpus() }
 
 // NewExhaustiveExplorer returns an explorer enumerating the whole space.
 func NewExhaustiveExplorer(space *Space) Explorer {

@@ -1,7 +1,8 @@
 // Command avd runs vulnerability-discovery campaigns against a
 // simulated system under test: the paper's fitness-guided controller
-// (Algorithm 1), the random baseline, or a genetic explorer, over any
-// combination of the target's testing-tool plugins. The engine is
+// (Algorithm 1), the random baseline, a genetic explorer, or the
+// coverage-guided explorer (timeline-hash feedback over a scenario
+// corpus), over any combination of the target's testing-tool plugins. The engine is
 // protocol-agnostic — the same search drives the PBFT deployment (the
 // paper's case study) or the Raft cluster (-target raft).
 package main
@@ -25,7 +26,7 @@ import (
 func main() {
 	var (
 		targetName = flag.String("target", "pbft", "system under test: pbft | raft")
-		strategy   = flag.String("strategy", "avd", "exploration strategy: avd | random | genetic")
+		strategy   = flag.String("strategy", "avd", "exploration strategy: avd | random | genetic | coverage")
 		tests      = flag.Int("tests", 125, "test budget")
 		seed       = flag.Int64("seed", 1, "random seed")
 		measure    = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
@@ -61,8 +62,10 @@ func main() {
 		explorer = core.NewRandomExplorer(space, *seed)
 	case "genetic":
 		explorer, err = core.NewGenetic(core.GeneticConfig{Seed: *seed}, target.Plugins()...)
+	case "coverage":
+		explorer, err = core.NewCoverageExplorer(core.CoverageConfig{Seed: *seed}, target.Plugins()...)
 	default:
-		err = fmt.Errorf("unknown strategy %q (want avd, random or genetic)", *strategy)
+		err = fmt.Errorf("unknown strategy %q (want avd, random, genetic or coverage)", *strategy)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avd:", err)
@@ -104,6 +107,10 @@ func main() {
 		return
 	}
 	trace.SummarizeCampaign(os.Stdout, *strategy, results)
+	if cov, ok := explorer.(*core.CoverageExplorer); ok {
+		fmt.Printf("  corpus: %d entries kept of %d distinct behavior sets observed\n",
+			cov.Corpus().Len(), cov.Corpus().Behaviors())
+	}
 
 	best := append([]core.Result(nil), results...)
 	for i := 0; i < len(best); i++ {

@@ -92,6 +92,30 @@ type snapshotForkBench struct {
 	CampaignTestsPerSec float64 `json:"campaign_tests_per_sec"`
 }
 
+// defectSearch records tests-to-first-violation for each exploration
+// strategy against one injected defect, per seed (0 = not found within
+// the budget). The defect recipes are scenario-rare by construction —
+// EXPERIMENTS.md §"Coverage-guided exploration" documents them — so the
+// counts measure search quality, not the defect's base rate.
+type defectSearch struct {
+	Budget   int     `json:"budget"`
+	Seeds    []int64 `json:"seeds"`
+	AVD      []int   `json:"avd_tests_to_violation"`
+	Random   []int   `json:"random_tests_to_violation"`
+	Genetic  []int   `json:"genetic_tests_to_violation"`
+	Coverage []int   `json:"coverage_tests_to_violation"`
+}
+
+type coverageBench struct {
+	PBFTQuorum     defectSearch `json:"pbft_backup_quorum"`
+	RaftDoubleVote defectSearch `json:"raft_double_vote"`
+	RaftStorm      defectSearch `json:"raft_election_storm"`
+	// Corpus shape from the last coverage campaign (pbft_backup_quorum,
+	// last seed): retained entries and distinct behavior digests seen.
+	CorpusEntries     int `json:"corpus_entries"`
+	DistinctBehaviors int `json:"distinct_behaviors"`
+}
+
 type report struct {
 	Schema         int               `json:"schema"`
 	GeneratedAt    string            `json:"generated_at"`
@@ -106,6 +130,7 @@ type report struct {
 	ScenarioKey    keyBench          `json:"scenario_key"`
 	EngineSched    opBench           `json:"engine_schedule"`
 	SnapshotFork   snapshotForkBench `json:"snapshot_fork"`
+	Coverage       coverageBench     `json:"coverage_explorer"`
 }
 
 func toOp(r testing.BenchmarkResult) opBench {
@@ -118,7 +143,7 @@ func toOp(r testing.BenchmarkResult) opBench {
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_4.json", "output JSON file (with -compare: the NEW report to read)")
+		out     = flag.String("o", "BENCH_5.json", "output JSON file (with -compare: the NEW report to read)")
 		tests   = flag.Int("tests", 125, "campaign budget (Figure-2 size)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel campaign workers")
 		measure = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
@@ -159,7 +184,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:      4,
+		Schema:      5,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -222,6 +247,7 @@ func main() {
 		rep.CampaignPhases = serialTarget.(*cluster.Target).Phases()
 		rep.RaftCampaign, _ = campaign("raft", func() core.Target { return newRaft() })
 		rep.SnapshotFork.CampaignTestsPerSec = rep.Campaign.SerialTestsPerSec
+		rep.Coverage = coverageSection()
 	}
 
 	// Single test execution (Big MAC) and attack-free baseline run.
@@ -368,6 +394,147 @@ func main() {
 		float64(rep.SnapshotFork.Cold.NsPerOp)/1e6, rep.SnapshotFork.Cold.AllocsPerOp,
 		float64(rep.SnapshotFork.Forked.NsPerOp)/1e6, rep.SnapshotFork.Forked.AllocsPerOp)
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// --- Coverage-guided search measurement --------------------------------------
+
+// covSeeds are the equal-seed comparison points of the strategy
+// shootout: every strategy runs each defect once per seed with the same
+// budget, so each table row is an apples-to-apples comparison.
+var covSeeds = []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+// Shootout budgets, sized to each defect's base rate under uniform
+// sampling (0.5-2%; see EXPERIMENTS.md): large enough to give a blind
+// search a fair shot, small enough that a not-found run stays cheap.
+
+// mkExplorer builds one shootout strategy over the target's plugins.
+func mkExplorer(kind string, seed int64, t core.Target) core.Explorer {
+	var ex core.Explorer
+	var err error
+	switch kind {
+	case "avd":
+		ex, err = core.NewController(core.ControllerConfig{Seed: seed, SeedTests: 10}, t.Plugins()...)
+	case "random":
+		var space *scenario.Space
+		if space, err = core.Space(t.Plugins()...); err == nil {
+			ex = core.NewRandomExplorer(space, seed)
+		}
+	case "genetic":
+		ex, err = core.NewGenetic(core.GeneticConfig{Seed: seed}, t.Plugins()...)
+	case "coverage":
+		ex, err = core.NewCoverageExplorer(core.CoverageConfig{Seed: seed}, t.Plugins()...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	return ex
+}
+
+// firstHit runs one serial campaign and returns the 1-based index of
+// the first test satisfying found, or 0 if the budget ran out. The
+// campaign stops at the first hit (context cancel), so cheap strategies
+// pay only for the tests they needed.
+func firstHit(t core.Target, ex core.Explorer, budget int, found func(core.Result) bool) int {
+	hit := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng, err := core.NewEngine(t,
+		core.WithExplorer(ex), core.WithBudget(budget), core.WithWorkers(1),
+		core.WithObserver(func(i int, res core.Result) {
+			if hit == 0 && found(res) {
+				hit = i
+				cancel()
+			}
+		}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	eng.RunAll(ctx) // a cancel-at-first-hit error is the expected exit
+	return hit
+}
+
+// searchDefect runs the four-strategy shootout against one defect
+// target. The target is shared across runs (forked == cold, so warm
+// masters do not change any result), and the last coverage explorer is
+// returned for corpus statistics.
+func searchDefect(name string, t core.Target, budget int, found func(core.Result) bool) (defectSearch, *core.CoverageExplorer) {
+	ds := defectSearch{Budget: budget, Seeds: covSeeds}
+	var lastCov *core.CoverageExplorer
+	for _, seed := range covSeeds {
+		for _, kind := range []string{"avd", "random", "genetic", "coverage"} {
+			ex := mkExplorer(kind, seed, t)
+			hit := firstHit(t, ex, budget, found)
+			switch kind {
+			case "avd":
+				ds.AVD = append(ds.AVD, hit)
+			case "random":
+				ds.Random = append(ds.Random, hit)
+			case "genetic":
+				ds.Genetic = append(ds.Genetic, hit)
+			case "coverage":
+				ds.Coverage = append(ds.Coverage, hit)
+				lastCov = ex.(*core.CoverageExplorer)
+			}
+		}
+		fmt.Printf("%s seed %d: avd=%d random=%d genetic=%d coverage=%d (0 = not found in %d)\n",
+			name, seed, ds.AVD[len(ds.AVD)-1], ds.Random[len(ds.Random)-1],
+			ds.Genetic[len(ds.Genetic)-1], ds.Coverage[len(ds.Coverage)-1], budget)
+	}
+	return ds, lastCov
+}
+
+// coverageSection measures tests-to-first-violation for the three
+// scenario-rare defect recipes EXPERIMENTS.md documents: a Byzantine
+// BACKUP with the quorum defect (the search must rotate primaryship
+// onto it), Raft's double-vote defect, and a Raft election storm.
+func coverageSection() coverageBench {
+	fmt.Println("coverage-guided search shootout...")
+	var cb coverageBench
+
+	pw := cluster.DefaultWorkload()
+	pw.Measure = 800 * time.Millisecond
+	pw.PBFT.QuorumBug = true
+	pw.Equivocate = true
+	pw.ByzantineReplica = 2
+	pbftTarget, err := cluster.NewTarget(pw,
+		plugin.NewClients(), plugin.NewCrashRestart(),
+		plugin.NewOneWay(4), plugin.NewNetFaults(4))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	var cov *core.CoverageExplorer
+	cb.PBFTQuorum, cov = searchDefect("pbft_backup_quorum", pbftTarget, 200,
+		func(r core.Result) bool { return r.Violated("pbft/agreement") })
+	if cov != nil {
+		cb.CorpusEntries = cov.Corpus().Len()
+		cb.DistinctBehaviors = cov.Corpus().Behaviors()
+	}
+
+	dw := raftsim.DefaultWorkload()
+	dw.Warmup = 300 * time.Millisecond
+	dw.Measure = 600 * time.Millisecond
+	dw.Raft.DoubleVoteBug = true
+	dvTarget, err := raftsim.NewTarget(dw,
+		raftsim.NewClientsPlugin(), raftsim.NewLeaderFlapPlugin(), raftsim.NewCrashRestartPlugin())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	cb.RaftDoubleVote, _ = searchDefect("raft_double_vote", dvTarget, 150,
+		func(r core.Result) bool { return r.Violated("raft/election-safety") })
+
+	stormTarget, err := raftsim.NewTarget(raftsim.DefaultWorkload())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	cb.RaftStorm, _ = searchDefect("raft_election_storm", stormTarget, 250,
+		func(r core.Result) bool { return r.ViewChanges >= 10 })
+
+	return cb
 }
 
 // --- Regression comparison --------------------------------------------------

@@ -167,6 +167,51 @@ func TestForkedEqualsColdRaft(t *testing.T) {
 	}
 }
 
+// TestForkedCoverageDigests: the coverage digest is part of the
+// forked==cold contract — every measured run carries a non-zero digest,
+// and forked executions reproduce the cold one bit for bit on both
+// shipped targets. Coverage-guided exploration depends on this: the
+// corpus must make the same admission decisions whether the engine
+// forked the run or ran it cold.
+func TestForkedCoverageDigests(t *testing.T) {
+	pr, err := cluster.NewRunner(pbftForkWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbftSC := pbftForkScenarios(t)[0]
+	cold := pr.Run(pbftSC)
+	fork := pr.RunFork(pbftSC)
+	if cold.Coverage.IsZero() {
+		t.Error("pbft: cold run has no coverage digest")
+	}
+	if cold.Coverage != fork.Coverage {
+		t.Errorf("pbft: forked coverage differs:\ncold: %+v\nfork: %+v", cold.Coverage, fork.Coverage)
+	}
+
+	w := raftsim.DefaultWorkload()
+	w.Warmup = 300 * time.Millisecond
+	w.Measure = 800 * time.Millisecond
+	rr, err := raftsim.NewRunner(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := core.Space(raftsim.NewClientsPlugin(), raftsim.NewLeaderFlapPlugin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raftSC := space.New(map[string]int64{
+		raftsim.DimClients: 10, raftsim.DimFlapIntervalMS: 100, raftsim.DimFlapDownMS: 200,
+	})
+	cold = rr.Run(raftSC)
+	fork = rr.RunFork(raftSC)
+	if cold.Coverage.IsZero() {
+		t.Error("raft: cold run has no coverage digest")
+	}
+	if cold.Coverage != fork.Coverage {
+		t.Errorf("raft: forked coverage differs:\ncold: %+v\nfork: %+v", cold.Coverage, fork.Coverage)
+	}
+}
+
 // TestConcurrentForksAreDeterministic: parallel workers forking the same
 // and different scenarios produce exactly the serial results (run under
 // -race this doubles as the fork race test).

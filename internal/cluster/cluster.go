@@ -78,6 +78,12 @@ type Workload struct {
 	// combined with PBFT.QuorumBug it produces an executed agreement
 	// violation that the run's oracles report on the Result.
 	Equivocate bool
+	// ByzantineReplica selects which replica carries the armed Byzantine
+	// behavior (default 0). Pointing it at a backup makes the injected
+	// defect schedule-dependent: an equivocating backup is harmless until
+	// view-change churn rotates the primaryship onto it, so a search has
+	// to drive view changes before the violation can fire.
+	ByzantineReplica int
 	// StepBudget caps the number of engine events one measurement window
 	// may execute (0 = unlimited). A scenario that drives the deployment
 	// into an unbounded event storm exhausts the budget instead of

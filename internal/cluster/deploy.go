@@ -31,8 +31,10 @@ type deployment struct {
 	net       *simnet.Network
 	keyring   *mac.Keyring
 	oracles   *oracle.Set
+	cov       *oracle.CoverageChecker // rides oracles; measure reads its digest
 	replicas  []*pbft.Replica
-	byz       *pbft.ByzantineBehavior // attached to replica 0, zero = inert
+	byz       *pbft.ByzantineBehavior // attached to replica byzIdx, zero = inert
+	byzIdx    int                     // which replica carries byz (Workload.ByzantineReplica, clamped)
 	clients   []*pbft.Client
 	malicious []*pbft.Client
 
@@ -63,13 +65,22 @@ type deploymentSnapshot struct {
 // given client population. The caller runs the warmup.
 func (r *Runner) newDeployment(correctClients, nMalicious int64) *deployment {
 	w := r.w
+	// The coverage checker is part of the base oracle set: it is
+	// Rewindable, so snapshot/fork execution rolls its timeline fold back
+	// with the invariant checkers and forked digests equal cold ones.
+	cov := oracle.NewCoverage()
 	d := &deployment{
 		w:       w,
 		eng:     sim.New(w.Seed),
 		net:     nil,
 		keyring: mac.NewKeyring(uint64(w.Seed)),
-		oracles: oracle.NewSet(oracle.NewAgreement("pbft")),
+		oracles: oracle.NewSet(oracle.NewAgreement("pbft"), cov),
+		cov:     cov,
 		byz:     &pbft.ByzantineBehavior{},
+		byzIdx:  w.ByzantineReplica,
+	}
+	if d.byzIdx < 0 || d.byzIdx >= w.PBFT.N {
+		d.byzIdx = 0
 	}
 	d.net = simnet.New(d.eng, w.Net)
 
@@ -78,6 +89,17 @@ func (r *Runner) newDeployment(correctClients, nMalicious int64) *deployment {
 	// (agreement), and no replica may overwrite its own committed
 	// history (durability).
 	d.replicas = make([]*pbft.Replica, 0, w.PBFT.N)
+	// View installations feed the oracle stream as leadership events when
+	// the installing replica is the new view's primary, so the coverage
+	// signal sees view-change progress (the max-term bucket and the
+	// transition edges both move). One closure is shared by all replicas
+	// — the callback receives the installing node — to keep deployment
+	// construction off the per-replica closure tax.
+	viewObs := pbft.WithViewObserver(func(node int, view uint64) {
+		if w.PBFT.PrimaryOf(view) == node {
+			d.oracles.Observe(oracle.Event{Kind: oracle.EventLeader, Node: node, Term: view})
+		}
+	})
 	for i := 0; i < w.PBFT.N; i++ {
 		id := i
 		opts := []pbft.ReplicaOption{
@@ -85,9 +107,10 @@ func (r *Runner) newDeployment(correctClients, nMalicious int64) *deployment {
 			pbft.WithCommitObserver(func(seq, digest uint64) {
 				d.oracles.Observe(oracle.Event{Kind: oracle.EventCommit, Node: id, Seq: seq, Digest: digest})
 			}),
+			viewObs,
 		}
-		if i == 0 {
-			// The potential Byzantine primary: behavior fields stay zero
+		if i == d.byzIdx {
+			// The potential Byzantine replica: behavior fields stay zero
 			// (a correct replica) until a scenario arms them.
 			opts = append(opts, pbft.WithByzantine(d.byz))
 		}
@@ -236,7 +259,7 @@ func (d *deployment) arm(sc scenario.Scenario, withFaults bool, extra ...oracle.
 	if dropLen > 0 && len(d.malicious) > 0 {
 		d.net.AddInterceptor(newDropWindow(d.malicious[0].Addr(), uint64(dropCall), uint64(dropLen)))
 	}
-	d.replicas[0].ApplyByzantine()
+	d.replicas[d.byzIdx].ApplyByzantine()
 
 	// Fault vocabulary v2 (DESIGN.md §10): crash-restart, clock skew,
 	// asymmetric partitions, link corruption/duplication. Every axis is
@@ -246,7 +269,7 @@ func (d *deployment) arm(sc scenario.Scenario, withFaults bool, extra ...oracle.
 	crashDown := time.Duration(sc.GetOr(plugin.DimCrashDownMS, 0)) * time.Millisecond
 	if crashInterval > 0 && crashDown > 0 {
 		attacker := &crashRestart{
-			eng: d.eng, replicas: d.replicas,
+			eng: d.eng, replicas: d.replicas, obs: d.oracles,
 			interval: crashInterval, down: crashDown,
 			lose: sc.GetOr(plugin.DimCrashLose, 0) != 0,
 		}
@@ -307,6 +330,7 @@ func (d *deployment) arm(sc scenario.Scenario, withFaults bool, extra ...oracle.
 type crashRestart struct {
 	eng      *sim.Engine
 	replicas []*pbft.Replica
+	obs      *oracle.Set // crash/restart markers for the coverage timeline
 	interval time.Duration
 	down     time.Duration
 	lose     bool // take the durable state with it
@@ -339,6 +363,7 @@ func (a *crashRestart) strike() {
 		if v := a.pick(); v >= 0 && a.replicas[v].Crash(!a.lose) {
 			a.victim = v
 			a.strikes++
+			a.obs.Observe(oracle.Event{Kind: oracle.EventCrash, Node: v})
 			a.eng.Schedule(a.down, a.restart)
 		}
 	}
@@ -350,6 +375,7 @@ func (a *crashRestart) restart() {
 		return
 	}
 	a.replicas[a.victim].Restart()
+	a.obs.Observe(oracle.Event{Kind: oracle.EventRestart, Node: a.victim})
 	a.victim = -1
 }
 
@@ -454,6 +480,7 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 		res.Error = fmt.Sprintf("cluster: scenario exceeded the %d-event step budget (runaway event storm)", d.w.StepBudget)
 	}
 	rep.P99Latency = metrics.PercentileInPlace(d.latTail, 99)
+	res.Coverage = d.cov.Digest()
 	res.Violations = d.oracles.Finish()
 	return res, rep
 }

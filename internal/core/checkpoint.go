@@ -18,13 +18,17 @@ import (
 //	avd-checkpoint v1
 //	r <key-hi> <key-lo> <impact> <tput> <baseline> <latency-ns> <crashed> <views> <generator>
 //	e <injected-crashes> <restarts> <hung> <error>
+//	c <timeline> <behaviors> <behavior-count>
 //	v <count> <invariant> <detail>
 //
 // The optional "e" extension line carries the fault-vocabulary-v2 and
 // degraded-test fields; it is written only when one of them is non-zero,
 // so checkpoints of campaigns that never arm the new faults are
 // byte-identical to the v1 encoding (the r line itself is frozen at nine
-// fields).
+// fields). The optional "c" line carries the run's coverage digest under
+// the same contract: written only when the digest is non-zero, so
+// checkpoints written before the coverage signal existed decode — and
+// re-encode — unchanged.
 //
 // Floats are hex-formatted (strconv 'x'), so decoding reproduces every
 // bit and a decoded checkpoint replays through an Engine exactly like
@@ -60,6 +64,12 @@ func (c *Checkpoint) Encode(w io.Writer) error {
 			}
 			if _, err := fmt.Fprintf(bw, "e %d %d %d %s\n",
 				res.InjectedCrashes, res.Restarts, hung, strconv.Quote(res.Error)); err != nil {
+				return err
+			}
+		}
+		if !res.Coverage.IsZero() {
+			if _, err := fmt.Fprintf(bw, "c %d %d %d\n",
+				res.Coverage.Timeline, res.Coverage.Behaviors, res.Coverage.BehaviorCount); err != nil {
 				return err
 			}
 		}
@@ -114,6 +124,13 @@ func DecodeCheckpoint(r io.Reader, space *scenario.Space) (*Checkpoint, error) {
 				return nil, fmt.Errorf("core: checkpoint line %d: extension before any result", line)
 			}
 			if err := decodeExtensionLine(text[2:], last); err != nil {
+				return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+			}
+		case strings.HasPrefix(text, "c "):
+			if last == nil {
+				return nil, fmt.Errorf("core: checkpoint line %d: coverage before any result", line)
+			}
+			if err := decodeCoverageLine(text[2:], last); err != nil {
 				return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
 			}
 		case strings.HasPrefix(text, "v "):
@@ -202,6 +219,27 @@ func decodeExtensionLine(s string, res *Result) error {
 	if res.Error, err = strconv.Unquote(fields[3]); err != nil {
 		return fmt.Errorf("error: %w", err)
 	}
+	return nil
+}
+
+// decodeCoverageLine attaches a "c" record's coverage digest to the
+// result it follows.
+func decodeCoverageLine(s string, res *Result) error {
+	fields, err := splitFields(s, 3)
+	if err != nil {
+		return err
+	}
+	if res.Coverage.Timeline, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	if res.Coverage.Behaviors, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+		return fmt.Errorf("behaviors: %w", err)
+	}
+	n, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return fmt.Errorf("behavior count: %w", err)
+	}
+	res.Coverage.BehaviorCount = uint32(n)
 	return nil
 }
 

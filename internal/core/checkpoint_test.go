@@ -73,6 +73,78 @@ func TestCheckpointCodecRoundtrip(t *testing.T) {
 	}
 }
 
+// TestCheckpointCoverageRoundtrip: results carrying a coverage digest
+// write the optional "c" record and roundtrip it exactly; digest-free
+// results write no "c" record at all.
+func TestCheckpointCoverageRoundtrip(t *testing.T) {
+	space, err := Space(twoDimPlugins()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := NewCheckpoint()
+	ck.append(Result{
+		Scenario:  space.New(map[string]int64{"x": 3, "y": 4}),
+		Impact:    0.5,
+		Generator: "seed",
+		Coverage:  oracle.Coverage{Timeline: 0xfeedface, Behaviors: 0xbead, BehaviorCount: 17},
+		Violations: []oracle.Violation{
+			{Invariant: "raft/election-safety", Detail: "two leaders", Count: 1},
+		},
+	})
+	ck.append(Result{Scenario: space.New(map[string]int64{"x": 0, "y": 0}), Generator: "seed"})
+
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\nc "); n != 1 {
+		t.Fatalf("encoded %d coverage records, want 1:\n%s", n, buf.String())
+	}
+	decoded, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decoded.Results()
+	if got[0].Coverage != ck.Results()[0].Coverage {
+		t.Fatalf("coverage roundtrip: %+v != %+v", got[0].Coverage, ck.Results()[0].Coverage)
+	}
+	if !got[1].Coverage.IsZero() {
+		t.Fatalf("digest-free result gained coverage: %+v", got[1].Coverage)
+	}
+}
+
+// TestCheckpointPreCoverageCompat: a checkpoint written before the
+// coverage record existed — literal bytes, r/e/v lines only — decodes
+// with zero Coverage and re-encodes byte-identical. Old campaign state
+// survives the format extension untouched.
+func TestCheckpointPreCoverageCompat(t *testing.T) {
+	space, err := Space(twoDimPlugins()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := "avd-checkpoint v1\n" +
+		"r 0 17 0x1p-03 0x1.f4p+09 0x1.f4p+09 1234 0 2 \"seed\"\n" +
+		"r 0 5 0x1p+00 0x0p+00 0x1.d4cp+12 500000000 1 9 \"mutate:x\"\n" +
+		"e 40 39 0 \"\"\n" +
+		"v 3 \"pbft/agreement\" \"nodes 0 and 1 committed different values at seq 7\"\n"
+	ck, err := DecodeCheckpoint(strings.NewReader(old), space)
+	if err != nil {
+		t.Fatalf("pre-coverage checkpoint rejected: %v", err)
+	}
+	for i, r := range ck.Results() {
+		if !r.Coverage.IsZero() {
+			t.Fatalf("result %d invented a coverage digest: %+v", i, r.Coverage)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != old {
+		t.Fatalf("pre-coverage checkpoint not byte-identical after re-encode:\n%q\nvs\n%q", buf.String(), old)
+	}
+}
+
 // TestCheckpointDecodeErrors: malformed inputs error with context, never
 // panic.
 func TestCheckpointDecodeErrors(t *testing.T) {
@@ -89,6 +161,10 @@ func TestCheckpointDecodeErrors(t *testing.T) {
 		"avd-checkpoint v1\nv 1 \"inv\" \"before any result\"",
 		"avd-checkpoint v1\nr 0 0 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"unterminated",
 		"avd-checkpoint v1\nr 0 0 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"g\" trailing",
+		"avd-checkpoint v1\nc 1 2 3",
+		"avd-checkpoint v1\nr 0 0 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"g\"\nc 1 2",
+		"avd-checkpoint v1\nr 0 0 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"g\"\nc 1 2 nope",
+		"avd-checkpoint v1\nr 0 0 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"g\"\nc 1 2 3 4",
 	}
 	for _, in := range cases {
 		if _, err := DecodeCheckpoint(strings.NewReader(in), space); err == nil {

@@ -55,6 +55,13 @@ type Result struct {
 	// during the run (the crashrestart plugins drive them).
 	InjectedCrashes uint64
 	Restarts        uint64
+	// Coverage is the run's abstract-timeline coverage digest: the
+	// deterministic fold of the oracle event stream (commit/leader
+	// transitions, crash/restart markers) that coverage-guided
+	// exploration uses as execution feedback (DESIGN.md §12). Zero when
+	// the run panicked before measuring or the result was decoded from a
+	// pre-coverage checkpoint.
+	Coverage oracle.Coverage
 	// Error is non-empty when the test itself misbehaved — it panicked
 	// (the recovered stack is recorded here) or tripped the hung-test
 	// watchdog — and the campaign degraded it to an error result instead
@@ -135,6 +142,24 @@ type Explorer interface {
 	Next() (sc scenario.Scenario, generator string, ok bool)
 	// Record feeds the measured result of a proposed scenario back.
 	Record(res Result)
+}
+
+// firstUnseen scans space in grid order for the first point whose
+// compact key is not in seen; ok is false only when every point has been
+// proposed. Explorers use it as the deterministic last resort once
+// rejection sampling keeps colliding, so they honor the Explorer
+// contract of reporting exhaustion only when the space is truly drained.
+func firstUnseen(space *scenario.Space, seen map[scenario.CompactKey]bool) (scenario.Scenario, bool) {
+	var out scenario.Scenario
+	found := false
+	space.Enumerate(func(sc scenario.Scenario) bool {
+		if seen[sc.Compact()] {
+			return true
+		}
+		out, found = sc, true
+		return false
+	})
+	return out, found
 }
 
 // Space builds the composed hyperspace of a plugin set.

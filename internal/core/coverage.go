@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"avd/internal/scenario"
+)
+
+// CoverageConfig tunes the coverage-guided explorer.
+type CoverageConfig struct {
+	// SeedTests is how many random probes bootstrap the corpus before
+	// mutation scheduling starts (default 16, one Genetic generation) —
+	// the same "random shots" opening the paper's controller uses.
+	SeedTests int
+	// MaxGenerationRetries bounds the mutation attempts per proposal
+	// before falling back to a random probe (default 16).
+	MaxGenerationRetries int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *CoverageConfig) applyDefaults() {
+	if c.SeedTests <= 0 {
+		c.SeedTests = 16
+	}
+	if c.MaxGenerationRetries <= 0 {
+		c.MaxGenerationRetries = 16
+	}
+}
+
+// CoverageExplorer is greybox coverage-guided exploration over the
+// plugin hyperspace (DESIGN.md §12): instead of climbing the impact
+// metric (Controller) or breeding on it (Genetic), it schedules
+// mutations of corpus entries — scenarios that exhibited a behavior
+// digest never seen before in the campaign. Impact is a scalar and
+// plateaus; coverage novelty keeps discriminating between runs long
+// after impact saturates, which is what finds the schedules that trip
+// protocol oracles (Mallory, PAPERS.md).
+//
+// It implements Explorer, so it drops into an Engine unchanged, and it
+// feeds exclusively on Result.Coverage — produced by the rewindable
+// oracle-side checker — so forked and cold campaigns explore
+// identically. Like RandomExplorer, Next reports ok=false only when
+// every point of the space has been proposed.
+type CoverageExplorer struct {
+	cfg     CoverageConfig
+	space   *scenario.Space
+	plugins []Plugin
+	rng     *rand.Rand
+	corpus  *Corpus
+
+	seen     map[scenario.CompactKey]bool
+	queue    []scenario.Scenario
+	gens     []string
+	executed int
+}
+
+// NewCoverageExplorer builds a coverage-guided explorer over the
+// plugins' composed space.
+func NewCoverageExplorer(cfg CoverageConfig, plugins ...Plugin) (*CoverageExplorer, error) {
+	cfg.applyDefaults()
+	if len(plugins) == 0 {
+		return nil, fmt.Errorf("core: coverage explorer needs at least one plugin")
+	}
+	space, err := Space(plugins...)
+	if err != nil {
+		return nil, err
+	}
+	return &CoverageExplorer{
+		cfg:     cfg,
+		space:   space,
+		plugins: plugins,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		corpus:  NewCorpus(),
+		seen:    make(map[scenario.CompactKey]bool),
+	}, nil
+}
+
+var _ Explorer = (*CoverageExplorer)(nil)
+
+// Corpus exposes the explorer's archive for inspection, reporting and
+// post-campaign minimization.
+func (e *CoverageExplorer) Corpus() *Corpus { return e.corpus }
+
+// Next implements Explorer.
+func (e *CoverageExplorer) Next() (scenario.Scenario, string, bool) {
+	if len(e.queue) == 0 {
+		e.generate()
+	}
+	if len(e.queue) == 0 {
+		return scenario.Scenario{}, "", false
+	}
+	sc, gen := e.queue[0], e.gens[0]
+	e.queue, e.gens = e.queue[1:], e.gens[1:]
+	return sc, gen, true
+}
+
+// Record implements Explorer: it feeds the run's coverage digest to the
+// corpus, which admits the scenario if the digest is novel.
+func (e *CoverageExplorer) Record(res Result) {
+	e.executed++
+	if res.Error != "" && !res.Hung {
+		return // a panicking run measured nothing; hung runs still covered behavior
+	}
+	e.corpus.Add(res)
+}
+
+// generate enqueues one proposal: a random probe during the bootstrap
+// phase (or whenever the corpus is empty), otherwise a mutation of an
+// energy-weighted corpus parent.
+func (e *CoverageExplorer) generate() {
+	if uint64(len(e.seen)) >= e.space.Size() {
+		return // genuinely exhausted; Next reports ok=false
+	}
+	if e.executed < e.cfg.SeedTests || e.corpus.Len() == 0 {
+		e.enqueueRandom("cov:seed")
+		return
+	}
+	for attempt := 0; attempt < e.cfg.MaxGenerationRetries; attempt++ {
+		// Half the proposals exploit the current best entry (see
+		// Corpus.Best), the rest draw energy-weighted from the whole
+		// archive. Greedy exploitation is what climbs a gradient: the
+		// run that drove views furthest gets mutated over and over until
+		// its pick decay hands the crown to the next contender, instead
+		// of being diluted by the dozens of merely-novel admissions.
+		var parent *CorpusEntry
+		if e.rng.Float64() < 0.5 {
+			parent = e.corpus.Best()
+		} else {
+			parent = e.corpus.Pick(e.rng)
+		}
+		var child scenario.Scenario
+		var gen string
+		if e.corpus.Len() > 1 && e.rng.Float64() < 0.4 {
+			// Splice two energy-weighted parents dimension-wise: the
+			// archive analogue of AFL's splicing and the move a
+			// single-plugin mutation cannot make — combining the
+			// interesting halves of two different schedules (e.g. one
+			// entry's crash cadence with another's client load).
+			other := e.corpus.Pick(e.rng)
+			child = e.splice(parent.Result.Scenario, other.Result.Scenario)
+			gen = "cov:splice"
+		} else {
+			p := e.plugins[e.rng.Intn(len(e.plugins))]
+			// Fresh parents get focused small steps around the behavior
+			// they found; entries that have been worked many times drift
+			// further out, trading exploitation for exploration as a
+			// seed dries up.
+			distance := 0.1 + 0.2*e.rng.Float64() + 0.05*float64(min(parent.Picks, 8))
+			child = p.Mutate(parent.Result.Scenario, distance, e.rng)
+			gen = "cov:mutate:" + p.Name()
+		}
+		if !child.Valid() {
+			continue
+		}
+		key := child.Compact()
+		if e.seen[key] {
+			continue
+		}
+		e.seen[key] = true
+		e.enqueue(child, gen)
+		return
+	}
+	e.enqueueRandom("cov:probe")
+}
+
+// splice mixes two parents dimension-wise (uniform crossover), with a
+// light single-plugin mutation so repeated splices of the same pair
+// don't collapse into clones.
+func (e *CoverageExplorer) splice(a, b scenario.Scenario) scenario.Scenario {
+	child := a
+	for _, d := range e.space.Dimensions() {
+		if e.rng.Intn(2) == 0 {
+			if v, ok := b.Get(d.Name); ok {
+				child = child.With(d.Name, v)
+			}
+		}
+	}
+	if e.rng.Float64() < 0.3 {
+		p := e.plugins[e.rng.Intn(len(e.plugins))]
+		child = p.Mutate(child, 0.1+0.1*e.rng.Float64(), e.rng)
+	}
+	return child
+}
+
+// enqueueRandom proposes an unseen uniform-random point, scanning the
+// grid deterministically once rejection sampling keeps colliding (the
+// space is then nearly drained).
+func (e *CoverageExplorer) enqueueRandom(gen string) {
+	for attempt := 0; attempt < 64; attempt++ {
+		sc := e.space.Random(e.rng)
+		key := sc.Compact()
+		if e.seen[key] {
+			continue
+		}
+		e.seen[key] = true
+		e.enqueue(sc, gen)
+		return
+	}
+	if sc, ok := firstUnseen(e.space, e.seen); ok {
+		e.seen[sc.Compact()] = true
+		e.enqueue(sc, "cov:scan")
+	}
+}
+
+func (e *CoverageExplorer) enqueue(sc scenario.Scenario, gen string) {
+	e.queue = append(e.queue, sc)
+	e.gens = append(e.gens, gen)
+}

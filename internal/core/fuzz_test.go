@@ -21,6 +21,10 @@ func FuzzCheckpointDecode(f *testing.F) {
 	f.Add([]byte("avd-checkpoint v1\ne 1 1 0 \"extension before result\"\n"))
 	f.Add([]byte("avd-checkpoint v1\nr 0 5 0x0p+00 0x0p+00 0x0p+00 0 0 0 \"g\"\ne 1 1 2 \"hung out of range\"\n"))
 	f.Add([]byte("avd-checkpoint v1\nr 18446744073709551615 18446744073709551615 0x1p+00 0x0p+00 0x0p+00 -5 -1 0 \"\\\"quoted\\\"\"\n"))
+	f.Add([]byte("avd-checkpoint v1\nr 0 17 0x1p-03 0x1.f4p+09 0x1.f4p+09 1234 0 2 \"seed\"\nc 14695981039346656037 8234717123 42\n"))
+	f.Add([]byte("avd-checkpoint v1\nr 0 5 0x1p+00 0x0p+00 0x0p+00 0 0 0 \"cov:mutate:x\"\ne 1 1 0 \"\"\nc 18446744073709551615 1 4294967295\nv 1 \"raft/election-safety\" \"two leaders in term 3\"\n"))
+	f.Add([]byte("avd-checkpoint v1\nc 1 2 3\n"))
+	f.Add([]byte("avd-checkpoint v1\nr 0 5 0x1p+00 0x0p+00 0x0p+00 0 0 0 \"g\"\nc 1 2 99999999999\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		space, err := Space(twoDimPlugins()...)
 		if err != nil {

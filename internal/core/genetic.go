@@ -101,7 +101,10 @@ var _ Explorer = (*Genetic)(nil)
 // Generation returns the current generation number (0-based).
 func (g *Genetic) Generation() int { return g.generation }
 
-// Next implements Explorer.
+// Next implements Explorer. Like RandomExplorer, it reports ok=false
+// only when the space is genuinely exhausted: enqueueUnseen's
+// deterministic fallback scan guarantees a generation only comes up
+// empty once every point has been proposed.
 func (g *Genetic) Next() (scenario.Scenario, string, bool) {
 	if len(g.pendingGen) == 0 {
 		g.breed()
@@ -186,14 +189,17 @@ func (g *Genetic) mutate(sc scenario.Scenario) scenario.Scenario {
 	return p.Mutate(sc, 0.2+0.3*g.rng.Float64(), g.rng)
 }
 
-// enqueueUnseen adds gen()'s first unseen product (bounded retries,
-// falling back to a random scenario, then giving up silently — the
-// explorer simply produces a shorter generation).
+// enqueueUnseen adds gen()'s first unseen product: bounded breeding
+// retries, then bounded random fallbacks, then a deterministic grid scan
+// for any unseen point. The scan is what keeps small or nearly drained
+// spaces honest — a fully-seen breeding neighborhood used to yield a
+// silently shorter generation and end the campaign with budget left,
+// while unseen points remained.
 func (g *Genetic) enqueueUnseen(gen func() scenario.Scenario) {
 	for attempt := 0; attempt < 16; attempt++ {
 		sc := gen()
 		if !sc.Valid() {
-			return
+			break
 		}
 		key := sc.Compact()
 		if g.seen[key] {
@@ -212,5 +218,12 @@ func (g *Genetic) enqueueUnseen(gen func() scenario.Scenario) {
 		g.seen[key] = true
 		g.pendingGen = append(g.pendingGen, sc)
 		return
+	}
+	// Rejection sampling keeps colliding: the seen set is dense relative
+	// to the space. Scan for a leftover point; only a truly exhausted
+	// space (len(seen) == space.Size()) ends up skipping the enqueue.
+	if sc, ok := firstUnseen(g.space, g.seen); ok {
+		g.seen[sc.Compact()] = true
+		g.pendingGen = append(g.pendingGen, sc)
 	}
 }

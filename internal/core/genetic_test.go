@@ -119,6 +119,28 @@ func TestGeneticDeterministic(t *testing.T) {
 	}
 }
 
+// TestGeneticExhaustsSmallSpace locks the early-exhaustion fix: once
+// most of a small space was seen, the GA's bounded rejection sampling
+// (16 mutation + 64 random retries per slot) would strike out on every
+// slot of a generation and report exhaustion with unexecuted scenarios
+// remaining. Next must keep producing until every point ran.
+func TestGeneticExhaustsSmallSpace(t *testing.T) {
+	p := &gridPlugin{name: "tiny", dim: scenario.Dimension{Name: "x", Min: 0, Max: 999, Step: 1}}
+	g := newTestGenetic(t, GeneticConfig{Seed: 7, Population: 8}, p)
+	results := Campaign(g, &peakRunner{peak: 500, width: 100}, 2000)
+	if len(results) != 1000 {
+		t.Fatalf("GA executed %d of 1000 scenarios before reporting exhaustion", len(results))
+	}
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if key := r.Scenario.Key(); seen[key] {
+			t.Fatalf("GA executed %s twice", key)
+		} else {
+			seen[key] = true
+		}
+	}
+}
+
 func TestGeneticConfigDefaults(t *testing.T) {
 	cfg := GeneticConfig{}
 	cfg.applyDefaults()

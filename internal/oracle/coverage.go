@@ -1,0 +1,252 @@
+package oracle
+
+import "math/bits"
+
+// Coverage is the abstract-timeline digest of one run: the execution
+// feedback that turns blind hyperspace search into coverage-guided
+// search (Mallory-style greybox fuzzing; see PAPERS.md and DESIGN.md
+// §12). It is a deterministic pure function of the run's oracle event
+// stream, so forked and cold executions of one scenario produce
+// identical digests bit for bit.
+//
+// The digest deliberately has two resolutions. Timeline is the exact
+// order-sensitive fold of every event — the determinism witness: any
+// divergence between two executions of the same scenario changes it.
+// Behaviors abstracts the same stream into a set of behavior features
+// (which kind→kind transitions occurred per node, how far per-node
+// commit counts got in powers of two, how far terms inflated) and folds
+// the distinct features order-insensitively; runs that differ only in
+// raw throughput collapse onto one Behaviors digest, while runs that
+// exercised a new interleaving structure — a crash during an election,
+// a commit after a restart — get a new one. Corpus admission keys on
+// Behaviors; Timeline tells identical schedules apart from merely
+// equivalent ones.
+type Coverage struct {
+	// Timeline is the order-sensitive multiply-xor fold of the full
+	// event stream (kind, node, seq, term, digest per event).
+	Timeline uint64
+	// Behaviors is the order-insensitive XOR-fold of the distinct
+	// behavior features the run exhibited.
+	Behaviors uint64
+	// BehaviorCount is how many distinct features fed Behaviors.
+	BehaviorCount uint32
+}
+
+// IsZero reports whether the digest was never computed (degraded runs
+// that panicked before measurement, and results decoded from
+// pre-coverage checkpoints). A computed digest is never zero: the
+// timeline fold starts at a nonzero basis and a zero final value is a
+// 2^-64 accident.
+func (c Coverage) IsZero() bool { return c == Coverage{} }
+
+const (
+	covOffset64 = 14695981039346656037
+	covPrime64  = 1099511628211
+
+	// Abstract event ids pack (kind, node) into one small integer so the
+	// transition set fits a dense bitmap: kinds and nodes are clamped to
+	// the ranges below (both shipped targets stay far inside them).
+	covKindBits = 2
+	covNodeBits = 6
+	covMaxKind  = 1 << covKindBits
+	covMaxNode  = 1 << covNodeBits
+	covMaxID    = covMaxKind * covMaxNode
+)
+
+// covFold folds one 64-bit value into an FNV-1a hash byte by byte. It
+// is reserved for the rare paths (feature hashing); the per-event
+// timeline fold uses the cheap covMix fingerprint instead.
+func covFold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= covPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// covMix is the splitmix64 finalizer: full 64-bit avalanche in six
+// arithmetic ops. The timeline fold runs on every oracle event of every
+// test, so it gets the cheap mixer; byte-wise FNV here measurably slows
+// oracle-heavy campaigns.
+func covMix(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// covFeature hashes one behavior feature; class separates the feature
+// families so e.g. a transition and a commit bucket can never collide
+// structurally.
+func covFeature(class, a, b uint64) uint64 {
+	h := covFold(covOffset64, class)
+	h = covFold(h, a)
+	return covFold(h, b)
+}
+
+// covAbstractID maps an event to its abstract (kind, node) id.
+func covAbstractID(ev Event) uint32 {
+	k := uint32(ev.Kind) - 1
+	if k >= covMaxKind {
+		k = covMaxKind - 1
+	}
+	n := uint32(0)
+	if ev.Node > 0 {
+		n = uint32(ev.Node)
+		if n >= covMaxNode {
+			n = covMaxNode - 1
+		}
+	}
+	return k<<covNodeBits | n
+}
+
+// CoverageChecker folds a run's event stream into its Coverage digest.
+// It reports no violations — it rides the oracle Set because the Set is
+// the one seam every event already flows through, on the cold path and
+// the forked path alike — and it is Rewindable, so snapshot/fork
+// execution rolls its observation state back with the rest of the
+// deployment and forked digests equal cold ones bit for bit.
+//
+// Like the shipped invariant checkers it indexes dense structures
+// instead of hashing into maps: the transition set is a lazily grown
+// bitmap and per-node commit counts are a slice, so the steady-state
+// Observe cost is a few indexed loads with zero allocation (the alloc
+// guard in perf_test.go covers it).
+type CoverageChecker struct {
+	timeline  uint64
+	behaviors uint64 // XOR of covFeature hashes of the distinct transitions
+	count     uint32 // distinct transitions folded into behaviors
+	prev      uint32 // previous abstract id + 1; 0 = stream start
+	edges     []uint64
+	commits   []uint64 // per-node commit counts
+	maxTerm   uint64
+}
+
+// NewCoverage returns an empty coverage checker. The dense structures
+// are allocated at their full clamped size up front — 8 KB for the
+// transition bitmap, one word per clampable node — so Observe never
+// grows them: construction costs a fixed three allocations and the
+// steady state costs zero.
+func NewCoverage() *CoverageChecker {
+	return &CoverageChecker{
+		timeline: covOffset64,
+		edges:    make([]uint64, covMaxID*covMaxID/64),
+		commits:  make([]uint64, covMaxNode),
+	}
+}
+
+var _ Checker = (*CoverageChecker)(nil)
+var _ Rewindable = (*CoverageChecker)(nil)
+
+// Name implements Checker.
+func (c *CoverageChecker) Name() string { return "coverage" }
+
+// Observe implements Checker.
+func (c *CoverageChecker) Observe(ev Event) {
+	// Order-sensitive fold: mix the event's fields into one fingerprint
+	// (distinct odd multipliers keep the fields from cancelling), then
+	// xor-multiply it into the running hash. Any reordering, insertion
+	// or field change anywhere in the stream changes the final value.
+	fp := covMix(uint64(ev.Kind)*0x9e3779b97f4a7c15 ^
+		uint64(uint32(ev.Node))*0xc2b2ae3d27d4eb4f ^
+		ev.Seq*0x165667b19e3779f9 ^
+		ev.Term*0x27d4eb2f165667c5 ^
+		ev.Digest*0x85ebca77c2b2ae63)
+	c.timeline = (c.timeline ^ fp) * covPrime64
+
+	id := covAbstractID(ev)
+	if c.prev != 0 {
+		edge := (c.prev-1)*covMaxID + id
+		word, bit := edge>>6, edge&63
+		for int(word) >= len(c.edges) {
+			c.edges = append(c.edges, 0)
+		}
+		if c.edges[word]&(1<<bit) == 0 {
+			c.edges[word] |= 1 << bit
+			c.behaviors ^= covFeature(1, uint64(c.prev-1), uint64(id))
+			c.count++
+		}
+	}
+	c.prev = id + 1
+
+	switch ev.Kind {
+	case EventCommit:
+		n := 0
+		if ev.Node > 0 {
+			n = ev.Node
+			if n >= covMaxNode {
+				n = covMaxNode - 1
+			}
+		}
+		for n >= len(c.commits) {
+			c.commits = append(c.commits, 0)
+		}
+		c.commits[n]++
+	case EventLeader:
+		if ev.Term > c.maxTerm {
+			c.maxTerm = ev.Term
+		}
+	}
+}
+
+// Finish implements Checker; coverage is feedback, not an invariant.
+func (c *CoverageChecker) Finish() []Violation { return nil }
+
+// Digest returns the run's coverage so far. The end-of-run bucket
+// features (log2 of per-node commit counts, log2 of the maximum term)
+// are folded here rather than per event, so Observe never inserts a
+// feature for every count increment.
+func (c *CoverageChecker) Digest() Coverage {
+	b, n := c.behaviors, c.count
+	for node, cnt := range c.commits {
+		if cnt == 0 {
+			continue
+		}
+		b ^= covFeature(2, uint64(node), uint64(bits.Len64(cnt)))
+		n++
+	}
+	if c.maxTerm > 0 {
+		b ^= covFeature(3, uint64(bits.Len64(c.maxTerm)), 0)
+		n++
+	}
+	return Coverage{Timeline: c.timeline, Behaviors: b, BehaviorCount: n}
+}
+
+// coverageState is the Rewindable capture of a CoverageChecker.
+type coverageState struct {
+	timeline  uint64
+	behaviors uint64
+	count     uint32
+	prev      uint32
+	edges     []uint64
+	commits   []uint64
+	maxTerm   uint64
+}
+
+// SnapshotState implements Rewindable.
+func (c *CoverageChecker) SnapshotState() any {
+	return &coverageState{
+		timeline:  c.timeline,
+		behaviors: c.behaviors,
+		count:     c.count,
+		prev:      c.prev,
+		edges:     append([]uint64(nil), c.edges...),
+		commits:   append([]uint64(nil), c.commits...),
+		maxTerm:   c.maxTerm,
+	}
+}
+
+// RestoreState implements Rewindable.
+func (c *CoverageChecker) RestoreState(v any) {
+	st := v.(*coverageState)
+	c.timeline = st.timeline
+	c.behaviors = st.behaviors
+	c.count = st.count
+	c.prev = st.prev
+	c.edges = append(c.edges[:0], st.edges...)
+	c.commits = append(c.commits[:0], st.commits...)
+	c.maxTerm = st.maxTerm
+}

@@ -1,0 +1,188 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+)
+
+// commitStorm replays a small deterministic commit/leader/crash stream.
+func commitStorm(c Checker) {
+	c.Observe(Event{Kind: EventLeader, Node: 1, Term: 2})
+	for seq := uint64(1); seq <= 4; seq++ {
+		for node := 1; node <= 3; node++ {
+			c.Observe(Event{Kind: EventCommit, Node: node, Seq: seq, Term: 2, Digest: 40 + seq})
+		}
+	}
+	c.Observe(Event{Kind: EventCrash, Node: 2})
+	c.Observe(Event{Kind: EventRestart, Node: 2})
+	c.Observe(Event{Kind: EventCommit, Node: 2, Seq: 5, Term: 2, Digest: 45})
+}
+
+func TestCoverageDeterministic(t *testing.T) {
+	a, b := NewCoverage(), NewCoverage()
+	commitStorm(a)
+	commitStorm(b)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("identical streams diverge: %+v vs %+v", a.Digest(), b.Digest())
+	}
+	if a.Digest().IsZero() {
+		t.Fatal("non-empty stream digested to zero")
+	}
+}
+
+func TestCoverageZeroContract(t *testing.T) {
+	if !(Coverage{}).IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+	// Even an event-free run has a computed digest (the FNV offset
+	// basis), so checkpoint encoding can tell "measured, saw nothing"
+	// from "decoded from a pre-coverage checkpoint".
+	if NewCoverage().Digest().IsZero() {
+		t.Fatal("empty checker digested to zero")
+	}
+}
+
+// TestCoverageTimelineOrderSensitive: Timeline is the determinism
+// witness — any reordering changes it. Behaviors abstracts order away:
+// two interleavings with the same transition set and the same per-node
+// commit buckets collapse onto one Behaviors digest.
+func TestCoverageTimelineOrderSensitive(t *testing.T) {
+	a, b := NewCoverage(), NewCoverage()
+	for i := 0; i < 3; i++ {
+		a.Observe(Event{Kind: EventCommit, Node: 1, Seq: uint64(i), Digest: 9})
+		a.Observe(Event{Kind: EventCommit, Node: 2, Seq: uint64(i), Digest: 9})
+		b.Observe(Event{Kind: EventCommit, Node: 2, Seq: uint64(i), Digest: 9})
+		b.Observe(Event{Kind: EventCommit, Node: 1, Seq: uint64(i), Digest: 9})
+	}
+	da, db := a.Digest(), b.Digest()
+	if da.Timeline == db.Timeline {
+		t.Fatal("reordered streams share a timeline hash")
+	}
+	if da.Behaviors != db.Behaviors || da.BehaviorCount != db.BehaviorCount {
+		t.Fatalf("equivalent interleavings got different behavior digests: %+v vs %+v", da, db)
+	}
+}
+
+// TestCoverageEdgeDedup: repeating an already-seen transition folds into
+// Timeline but adds no behavior feature.
+func TestCoverageEdgeDedup(t *testing.T) {
+	c := NewCoverage()
+	c.Observe(Event{Kind: EventCommit, Node: 1, Seq: 1, Digest: 1})
+	c.Observe(Event{Kind: EventCommit, Node: 2, Seq: 1, Digest: 1})
+	first := c.Digest()
+	c.Observe(Event{Kind: EventCommit, Node: 1, Seq: 2, Digest: 2})
+	c.Observe(Event{Kind: EventCommit, Node: 2, Seq: 2, Digest: 2})
+	second := c.Digest()
+	if first.Timeline == second.Timeline {
+		t.Fatal("timeline ignored repeated transitions")
+	}
+	// The second lap re-walks existing edges; only the commit-count
+	// buckets may move (1 commit -> 2 commits is the same log2 bucket
+	// boundary crossing, so node 1 and 2 each move one bucket).
+	if second.BehaviorCount < first.BehaviorCount {
+		t.Fatalf("behavior count shrank: %d -> %d", first.BehaviorCount, second.BehaviorCount)
+	}
+	if second.BehaviorCount-first.BehaviorCount > 2 {
+		t.Fatalf("repeated transitions minted %d new features", second.BehaviorCount-first.BehaviorCount)
+	}
+}
+
+// TestCoverageCrashDistinguishesRuns: a run that exercised a crash has a
+// different behavior set than the same run without it — the signal the
+// corpus schedules on.
+func TestCoverageCrashDistinguishesRuns(t *testing.T) {
+	plain, crashed := NewCoverage(), NewCoverage()
+	for _, c := range []*CoverageChecker{plain, crashed} {
+		c.Observe(Event{Kind: EventLeader, Node: 1, Term: 1})
+		c.Observe(Event{Kind: EventCommit, Node: 1, Seq: 1, Term: 1, Digest: 3})
+	}
+	crashed.Observe(Event{Kind: EventCrash, Node: 1})
+	crashed.Observe(Event{Kind: EventRestart, Node: 1})
+	if plain.Digest().Behaviors == crashed.Digest().Behaviors {
+		t.Fatal("crash/restart left no mark on the behavior digest")
+	}
+}
+
+func TestCoverageSnapshotRestore(t *testing.T) {
+	cold := NewCoverage()
+	commitStorm(cold)
+
+	forked := NewCoverage()
+	// Warmup divergence: the forked checker saw other events first.
+	forked.Observe(Event{Kind: EventLeader, Node: 3, Term: 9})
+	forked.Observe(Event{Kind: EventCommit, Node: 3, Seq: 1, Term: 9, Digest: 7})
+
+	base := NewCoverage()
+	snap := base.SnapshotState()
+	forked.RestoreState(snap)
+	commitStorm(forked)
+	if forked.Digest() != cold.Digest() {
+		t.Fatalf("restored checker diverged from cold: %+v vs %+v", forked.Digest(), cold.Digest())
+	}
+
+	// Snapshot mid-stream, run on, rewind, replay: same suffix must
+	// reproduce the same digest bit for bit.
+	mid := NewCoverage()
+	mid.Observe(Event{Kind: EventLeader, Node: 1, Term: 1})
+	st := mid.SnapshotState()
+	mid.Observe(Event{Kind: EventCrash, Node: 1})
+	mid.RestoreState(st)
+	mid.Observe(Event{Kind: EventCommit, Node: 1, Seq: 1, Term: 1, Digest: 5})
+	want := NewCoverage()
+	want.Observe(Event{Kind: EventLeader, Node: 1, Term: 1})
+	want.Observe(Event{Kind: EventCommit, Node: 1, Seq: 1, Term: 1, Digest: 5})
+	if mid.Digest() != want.Digest() {
+		t.Fatalf("mid-stream rewind diverged: %+v vs %+v", mid.Digest(), want.Digest())
+	}
+}
+
+func TestCoverageChecker(t *testing.T) {
+	c := NewCoverage()
+	if c.Name() != "coverage" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	commitStorm(c)
+	if v := c.Finish(); len(v) != 0 {
+		t.Errorf("coverage is feedback, not an invariant; Finish = %v", v)
+	}
+}
+
+// TestCoverageInSet: the checker rides an oracle Set next to invariant
+// checkers, and Set.Snapshot/Restore rewinds it with them.
+func TestCoverageInSet(t *testing.T) {
+	cov := NewCoverage()
+	s := NewSet(NewAgreement("raft"), cov)
+	s.Observe(Event{Kind: EventCommit, Node: 1, Seq: 1, Digest: 2})
+	snap := s.Snapshot()
+	before := cov.Digest()
+	s.Observe(Event{Kind: EventCrash, Node: 1})
+	s.Restore(snap)
+	if cov.Digest() != before {
+		t.Fatalf("Set.Restore did not rewind coverage: %+v vs %+v", cov.Digest(), before)
+	}
+}
+
+func TestCrashRestartEventStrings(t *testing.T) {
+	if EventCrash.String() != "crash" || EventRestart.String() != "restart" {
+		t.Errorf("kind strings: %q, %q", EventCrash, EventRestart)
+	}
+	ev := Event{Kind: EventCrash, Node: 4}
+	if !strings.Contains(ev.String(), "crash node=4") {
+		t.Errorf("crash event string = %q", ev.String())
+	}
+	ev = Event{Kind: EventRestart, Node: 4}
+	if !strings.Contains(ev.String(), "restart node=4") {
+		t.Errorf("restart event string = %q", ev.String())
+	}
+}
+
+// TestCoverageNodeClamp: out-of-range nodes and kinds clamp instead of
+// indexing out of the dense bitmap.
+func TestCoverageNodeClamp(t *testing.T) {
+	c := NewCoverage()
+	c.Observe(Event{Kind: EventKind(200), Node: 1 << 20, Seq: 1})
+	c.Observe(Event{Kind: EventCommit, Node: 1 << 20, Seq: 1, Digest: 1})
+	if c.Digest().IsZero() {
+		t.Fatal("clamped events vanished from the digest")
+	}
+}

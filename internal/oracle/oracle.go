@@ -27,9 +27,8 @@ type EventKind uint8
 
 // Event kinds. The vocabulary is deliberately protocol-neutral: a PBFT
 // replica executing a batch and a Raft node applying a log entry both
-// report EventCommit; a Raft node winning an election reports
-// EventLeader (PBFT's view installations could too, but no shipped
-// checker needs them yet).
+// report EventCommit; a Raft node winning an election and a PBFT
+// replica installing a view it is primary of both report EventLeader.
 const (
 	// EventCommit: Node irrevocably committed the value identified by
 	// Digest at log position Seq. Term carries the view/term it was
@@ -37,6 +36,12 @@ const (
 	EventCommit EventKind = iota + 1
 	// EventLeader: Node assumed leadership for Term.
 	EventLeader
+	// EventCrash: Node was halted by an injected crash fault. Emitted by
+	// the crash-restart attackers so schedule-level fault activity shows
+	// up in the abstract timeline the coverage signal folds.
+	EventCrash
+	// EventRestart: Node came back from an injected crash.
+	EventRestart
 )
 
 // String names the kind for traces and fixtures.
@@ -46,6 +51,10 @@ func (k EventKind) String() string {
 		return "commit"
 	case EventLeader:
 		return "leader"
+	case EventCrash:
+		return "crash"
+	case EventRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -68,6 +77,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("commit node=%d seq=%d term=%d digest=%#x", e.Node, e.Seq, e.Term, e.Digest)
 	case EventLeader:
 		return fmt.Sprintf("leader node=%d term=%d", e.Node, e.Term)
+	case EventCrash:
+		return fmt.Sprintf("crash node=%d", e.Node)
+	case EventRestart:
+		return fmt.Sprintf("restart node=%d", e.Node)
 	default:
 		return fmt.Sprintf("%s node=%d seq=%d term=%d digest=%#x", e.Kind, e.Node, e.Seq, e.Term, e.Digest)
 	}

@@ -322,6 +322,13 @@ type Replica struct {
 	// oracles.
 	commitObserver func(seq, digest uint64)
 
+	// viewObserver, when set, observes every view installation (the
+	// installing replica's id and the view it just entered). It takes
+	// the node id so one closure can be shared by a whole deployment;
+	// the harness turns the new primary's installations into leadership
+	// events for the oracle stream.
+	viewObserver func(node int, view uint64)
+
 	stats ReplicaStats
 }
 
@@ -345,6 +352,13 @@ func WithCrashOnBadReproposal(on bool) ReplicaOption {
 // observations.
 func WithCommitObserver(fn func(seq, digest uint64)) ReplicaOption {
 	return func(r *Replica) { r.commitObserver = fn }
+}
+
+// WithViewObserver registers a callback invoked on the simulation
+// goroutine whenever this replica installs a new view, carrying the
+// replica's id and the installed view.
+func WithViewObserver(fn func(node int, view uint64)) ReplicaOption {
+	return func(r *Replica) { r.viewObserver = fn }
 }
 
 // NewReplica creates replica id and registers it on the network at

@@ -331,6 +331,9 @@ func (r *Replica) enterView(target uint64) {
 	r.nvTimeout = r.cfg.NewViewTimeout
 	r.newViewTimer.Stop()
 	r.stats.ViewsInstalled++
+	if r.viewObserver != nil {
+		r.viewObserver(r.id, target)
+	}
 	// Discard obsolete view-change state.
 	for v := range r.viewChanges {
 		if v <= target {

@@ -24,6 +24,7 @@ type deployment struct {
 	eng     *sim.Engine
 	net     *simnet.Network
 	oracles *oracle.Set
+	cov     *oracle.CoverageChecker // rides oracles; measure reads its digest
 	nodes   []*Node
 	cs      []*Client
 
@@ -50,13 +51,19 @@ type deploymentSnapshot struct {
 // caller runs the warmup.
 func (r *Runner) newDeployment(clients int64) *deployment {
 	w := r.w
+	// The coverage checker is part of the base oracle set: it is
+	// Rewindable, so snapshot/fork execution rolls its timeline fold back
+	// with the invariant checkers and forked digests equal cold ones.
+	cov := oracle.NewCoverage()
 	d := &deployment{
 		w:   w,
 		eng: sim.New(w.Seed),
 		oracles: oracle.NewSet(
 			oracle.NewElectionSafety("raft"),
 			oracle.NewAgreement("raft"),
+			cov,
 		),
+		cov: cov,
 	}
 	d.net = simnet.New(d.eng, w.Net)
 
@@ -158,7 +165,7 @@ func (d *deployment) arm(sc scenario.Scenario, withFaults bool, extra ...oracle.
 	crashDown := time.Duration(sc.GetOr(DimCrashDownMS, 0)) * time.Millisecond
 	if crashInterval > 0 && crashDown > 0 {
 		attacker := &crashRestart{
-			eng: d.eng, nodes: d.nodes,
+			eng: d.eng, nodes: d.nodes, obs: d.oracles,
 			interval: crashInterval, down: crashDown,
 			lose: sc.GetOr(DimCrashLose, 0) != 0,
 		}
@@ -263,6 +270,7 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 		res.Error = fmt.Sprintf("raftsim: scenario exceeded the %d-event step budget (runaway event storm)", d.w.StepBudget)
 	}
 	rep.P99Latency = metrics.PercentileInPlace(d.latTail, 99)
+	res.Coverage = d.cov.Digest()
 	res.Violations = d.oracles.Finish()
 	return res, rep
 }

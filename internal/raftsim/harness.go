@@ -319,6 +319,7 @@ func (a *leaderFlap) heal() {
 type crashRestart struct {
 	eng      *sim.Engine
 	nodes    []*Node
+	obs      *oracle.Set // crash/restart markers for the coverage timeline
 	interval time.Duration
 	down     time.Duration
 	lose     bool // take the durable state with it
@@ -355,6 +356,7 @@ func (a *crashRestart) strike() {
 			a.victim = v
 			a.strikes++
 			a.nodes[v].Crash(!a.lose)
+			a.obs.Observe(oracle.Event{Kind: oracle.EventCrash, Node: v})
 			a.eng.Schedule(a.down, a.restart)
 		}
 	}
@@ -366,6 +368,7 @@ func (a *crashRestart) restart() {
 		return
 	}
 	a.nodes[a.victim].Restart()
+	a.obs.Observe(oracle.Event{Kind: oracle.EventRestart, Node: a.victim})
 	a.victim = -1
 }
 

@@ -7,6 +7,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 
@@ -20,7 +21,7 @@ import (
 // injected crash-restart activity, degraded-test markers, and the oracle
 // invariants the run violated (semicolon-joined).
 func WriteCampaignCSV(w io.Writer, label string, results []core.Result) error {
-	if _, err := fmt.Fprintln(w, "strategy,iteration,scenario,impact,throughput_rps,baseline_rps,avg_latency_s,crashed_replicas,view_changes,injected_crashes,restarts,hung,error,generator,violations"); err != nil {
+	if _, err := fmt.Fprintln(w, "strategy,iteration,scenario,impact,throughput_rps,baseline_rps,avg_latency_s,crashed_replicas,view_changes,injected_crashes,restarts,hung,error,generator,violations,timeline_hash,behavior_digest,behaviors"); err != nil {
 		return err
 	}
 	for i, r := range results {
@@ -28,11 +29,12 @@ func WriteCampaignCSV(w io.Writer, label string, results []core.Result) error {
 		if nl := strings.IndexByte(errLine, '\n'); nl >= 0 {
 			errLine = errLine[:nl] // keep the message, drop the stack trace
 		}
-		_, err := fmt.Fprintf(w, "%s,%d,%q,%.4f,%.1f,%.1f,%.4f,%d,%d,%d,%d,%t,%q,%s,%s\n",
+		_, err := fmt.Fprintf(w, "%s,%d,%q,%.4f,%.1f,%.1f,%.4f,%d,%d,%d,%d,%t,%q,%s,%s,%#x,%#x,%d\n",
 			label, i+1, r.Scenario.Key(), r.Impact, r.Throughput, r.BaselineThroughput,
 			r.AvgLatency.Seconds(), r.CrashedReplicas, r.ViewChanges,
 			r.InjectedCrashes, r.Restarts, r.Hung, errLine, r.Generator,
-			strings.Join(oracle.Names(r.Violations), ";"))
+			strings.Join(oracle.Names(r.Violations), ";"),
+			r.Coverage.Timeline, r.Coverage.Behaviors, r.Coverage.BehaviorCount)
 		if err != nil {
 			return err
 		}
@@ -92,7 +94,16 @@ func RenderSeries(w io.Writer, title, yLabel string, names []string, series [][]
 	for si, s := range series {
 		mark := marks[si%len(marks)]
 		for x, v := range s {
-			y := int(v / maxVal * float64(height-1))
+			// Clamp the projection into the grid: NaN and negative values
+			// sit on the baseline row, values above the scale on the top
+			// row (series like impact deltas can legitimately go negative).
+			y := 0
+			if !math.IsNaN(v) && v > 0 {
+				y = int(v / maxVal * float64(height-1))
+			}
+			if y < 0 {
+				y = 0
+			}
 			if y > height-1 {
 				y = height - 1
 			}
@@ -357,6 +368,22 @@ func SummarizeCampaign(w io.Writer, label string, results []core.Result) {
 	}
 	if hung > 0 || errored > 0 {
 		fmt.Fprintf(w, "  degraded tests: %d hung, %d errored (campaign continued)\n", hung, errored)
+	}
+	// Coverage feedback: how much behavioral diversity the campaign saw
+	// (results without a digest — degraded runs, pre-coverage
+	// checkpoints — are skipped).
+	behaviors := make(map[uint64]bool)
+	timelines := make(map[uint64]bool)
+	for _, r := range results {
+		if r.Coverage.IsZero() {
+			continue
+		}
+		behaviors[r.Coverage.Behaviors] = true
+		timelines[r.Coverage.Timeline] = true
+	}
+	if len(timelines) > 0 {
+		fmt.Fprintf(w, "  coverage: %d distinct behavior sets over %d timelines\n",
+			len(behaviors), len(timelines))
 	}
 }
 

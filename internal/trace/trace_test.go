@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -38,6 +39,7 @@ func sampleResults(t *testing.T) []core.Result {
 			CrashedReplicas:    2,
 			ViewChanges:        3,
 			Generator:          "mutate:maccorrupt",
+			Coverage:           oracle.Coverage{Timeline: 0xdeadbeef, Behaviors: 0xcafe, BehaviorCount: 7},
 			Violations: []oracle.Violation{
 				{Invariant: "pbft/agreement", Detail: "nodes 0 and 1 committed different values at seq 7", Count: 2},
 				{Invariant: "pbft/durability", Detail: "node 2 overwrote seq 5", Count: 1},
@@ -62,13 +64,16 @@ func TestWriteCampaignCSV(t *testing.T) {
 	if !strings.Contains(lines[2], "0.9500") || !strings.Contains(lines[2], "mutate:maccorrupt") {
 		t.Errorf("row 2 lacks impact/generator: %q", lines[2])
 	}
-	if !strings.HasSuffix(lines[0], ",violations") {
-		t.Errorf("header lacks violations column: %q", lines[0])
+	if !strings.HasSuffix(lines[0], ",violations,timeline_hash,behavior_digest,behaviors") {
+		t.Errorf("header lacks violations/coverage columns: %q", lines[0])
 	}
-	if !strings.HasSuffix(lines[2], "pbft/agreement;pbft/durability") {
-		t.Errorf("row 2 lacks violated invariants: %q", lines[2])
+	if !strings.HasSuffix(lines[2], "pbft/agreement;pbft/durability,0xdeadbeef,0xcafe,7") {
+		t.Errorf("row 2 lacks violated invariants and coverage digests: %q", lines[2])
 	}
-	if strings.HasSuffix(lines[1], "pbft/agreement;pbft/durability") {
+	if !strings.HasSuffix(lines[1], ",0x0,0x0,0") {
+		t.Errorf("coverage-free row 1 should carry zero digests: %q", lines[1])
+	}
+	if strings.Contains(lines[1], "pbft/agreement") {
 		t.Errorf("violation-free row 1 carries invariants: %q", lines[1])
 	}
 }
@@ -99,6 +104,23 @@ func TestRenderSeries(t *testing.T) {
 	}
 	if !strings.Contains(out, "iterations 1..4") {
 		t.Error("missing x-axis label")
+	}
+}
+
+// TestRenderSeriesHostile locks the RenderSeries bug fix: negative
+// samples used to map to a negative row index and panic with
+// index-out-of-range, and NaN poisoned the whole column. Both must
+// render on the baseline row instead.
+func TestRenderSeriesHostile(t *testing.T) {
+	var sb strings.Builder
+	RenderSeries(&sb, "hostile", "u", []string{"a"},
+		[][]float64{{-3, math.NaN(), 2, math.Inf(-1)}}, 6)
+	out := sb.String()
+	if !strings.Contains(out, "A") {
+		t.Errorf("hostile series lost its marks: %q", out)
+	}
+	if !strings.Contains(out, "iterations 1..4") {
+		t.Errorf("hostile series lost the x-axis: %q", out)
 	}
 }
 
@@ -187,6 +209,9 @@ func TestSummarizeCampaign(t *testing.T) {
 	}
 	if !strings.Contains(out, "reached at test 2") {
 		t.Errorf("summary lacks tests-to-impact: %q", out)
+	}
+	if !strings.Contains(out, "coverage: 1 distinct behavior sets over 1 timelines") {
+		t.Errorf("summary lacks coverage line: %q", out)
 	}
 	sb.Reset()
 	SummarizeCampaign(&sb, "none", nil)

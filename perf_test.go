@@ -126,7 +126,7 @@ func BenchmarkSnapshotColdTest(b *testing.B) {
 // the steady state (slices grown to the run's high-water mark) observing
 // a commit or leadership event must not allocate.
 func BenchmarkSnapshotOracleObserve(b *testing.B) {
-	set := oracle.NewSet(oracle.NewAgreement("raft"), oracle.NewElectionSafety("raft"))
+	set := oracle.NewSet(oracle.NewAgreement("raft"), oracle.NewElectionSafety("raft"), oracle.NewCoverage())
 	for seq := uint64(1); seq <= 4096; seq++ {
 		for node := 0; node < 5; node++ {
 			set.Observe(oracle.Event{Kind: oracle.EventCommit, Node: node, Seq: seq, Digest: seq * 31})
@@ -144,7 +144,7 @@ func BenchmarkSnapshotOracleObserve(b *testing.B) {
 
 // TestOracleObserveAllocFree is the hard assert behind the benchmark.
 func TestOracleObserveAllocFree(t *testing.T) {
-	set := oracle.NewSet(oracle.NewAgreement("pbft"))
+	set := oracle.NewSet(oracle.NewAgreement("pbft"), oracle.NewCoverage())
 	for seq := uint64(1); seq <= 1024; seq++ {
 		for node := 0; node < 4; node++ {
 			set.Observe(oracle.Event{Kind: oracle.EventCommit, Node: node, Seq: seq, Digest: seq})
