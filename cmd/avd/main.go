@@ -5,21 +5,28 @@
 // corpus), over any combination of the target's testing-tool plugins. The engine is
 // protocol-agnostic — the same search drives the PBFT deployment (the
 // paper's case study) or the Raft cluster (-target raft).
+//
+// With -state the campaign is crash-safe: progress is journaled to a
+// durable checkpoint after every batch and the process resumes from it
+// on restart, so a SIGKILL (or power loss) costs at most the batch in
+// flight. With -shard k/K the process runs one deterministic sub-space
+// of a K-way sharded campaign; cmd/avdd supervises a full set of shards
+// and merges their checkpoints.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"avd/internal/cluster"
+	"avd/internal/campaign"
 	"avd/internal/core"
-	"avd/internal/plugin"
-	"avd/internal/raftsim"
 	"avd/internal/trace"
 )
 
@@ -40,116 +47,176 @@ func main() {
 		minimize   = flag.Bool("minimize", false, "delta-debug the best attack found down to a minimal fault schedule that still reproduces it")
 		minThresh  = flag.Float64("minthreshold", 0, "impact a minimized scenario must keep when no oracle was violated (0 = 90% of the original's impact)")
 		minRuns    = flag.Int("minruns", 256, "re-execution budget for -minimize")
+		stateDir   = flag.String("state", "", "durable state directory: journal progress after every batch and resume from it on restart")
+		shardSpec  = flag.String("shard", "", "run one shard of a K-way sharded campaign, as k/K (0-based); requires a deterministic shard plan shared with the supervisor")
 	)
 	flag.Parse()
 
-	target, err := buildTarget(*targetName, *pluginsCS, *faultsCS, *measure, *stepBudget)
+	shard, shards, err := campaign.ParseShard(*shardSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "avd:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	space, err := core.Space(target.Plugins()...)
+	setup, err := campaign.Build(campaign.Config{
+		Target:     *targetName,
+		Strategy:   *strategy,
+		Tests:      *tests,
+		Seed:       *seed,
+		Measure:    *measure,
+		Plugins:    *pluginsCS,
+		Faults:     *faultsCS,
+		StepBudget: *stepBudget,
+		Workers:    *workers,
+		Shard:      shard,
+		Shards:     shards,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "avd:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-
-	var explorer core.Explorer
-	switch *strategy {
-	case "avd":
-		explorer, err = core.NewController(core.ControllerConfig{Seed: *seed, SeedTests: 10}, target.Plugins()...)
-	case "random":
-		explorer = core.NewRandomExplorer(space, *seed)
-	case "genetic":
-		explorer, err = core.NewGenetic(core.GeneticConfig{Seed: *seed}, target.Plugins()...)
-	case "coverage":
-		explorer, err = core.NewCoverageExplorer(core.CoverageConfig{Seed: *seed}, target.Plugins()...)
-	default:
-		err = fmt.Errorf("unknown strategy %q (want avd, random, genetic or coverage)", *strategy)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "avd:", err)
-		os.Exit(1)
-	}
+	target, space, explorer := setup.Target, setup.Space, setup.Explorer
 
 	opts := []core.EngineOption{
 		core.WithExplorer(explorer),
 		core.WithBudget(*tests),
 		core.WithWorkers(*workers),
 	}
-	if !*quiet {
-		opts = append(opts, core.WithObserver(func(i int, res core.Result) {
+
+	// Durable state: validate the manifest (refusing a resume whose flags
+	// drifted), open the checkpoint pair, and wire replay + journaling.
+	var durable *core.DurableCheckpoint
+	var paths campaign.StatePaths
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fatal(err)
+		}
+		paths = campaign.PathsFor(*stateDir, shard, shards)
+		saved, err := core.LoadManifest(paths.Manifest)
+		switch {
+		case err == nil:
+			if verr := setup.Manifest.Validate(saved); verr != nil {
+				fatal(verr)
+			}
+		case errors.Is(err, os.ErrNotExist):
+			if werr := core.WriteManifest(paths.Manifest, setup.Manifest); werr != nil {
+				fatal(werr)
+			}
+		default:
+			fatal(err)
+		}
+		var info core.RecoveryInfo
+		durable, info, err = core.OpenDurable(paths.Checkpoint, space)
+		if err != nil {
+			fatal(err)
+		}
+		if info.Resumed() > 0 || info.TornTail {
+			fmt.Printf("resumed from %s: %s\n", paths.Checkpoint, info)
+		}
+		opts = append(opts, core.WithDurable(durable))
+	}
+
+	observer := func(i int, res core.Result) {
+		if !*quiet {
 			fmt.Printf("%4d impact=%.3f tput=%8.0f lat=%-10v %s (%s)%s%s\n",
 				i, res.Impact, res.Throughput, res.AvgLatency.Round(time.Millisecond),
 				res.Scenario.Key(), res.Generator, violationSuffix(res), errorSuffix(res))
-		}))
+		}
+		if paths.Heartbeat != "" {
+			// Liveness for the supervisor: progress count, rewritten in
+			// place (the supervisor watches the mtime).
+			os.WriteFile(paths.Heartbeat, []byte(fmt.Sprintf("%d\n", i)), 0o644)
+		}
 	}
+	opts = append(opts, core.WithObserver(observer))
+
 	eng, err := core.NewEngine(target, opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "avd:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	fmt.Printf("target=%s strategy=%s hyperspace=%d scenarios budget=%d workers=%d\n",
-		target.Name(), *strategy, space.Size(), *tests, *workers)
+	shardNote := ""
+	if shards > 1 {
+		shardNote = fmt.Sprintf(" shard=%d/%d (%s)", shard, shards, setup.Plan)
+	}
+	fmt.Printf("target=%s strategy=%s hyperspace=%d scenarios budget=%d workers=%d%s\n",
+		target.Name(), *strategy, space.Size(), *tests, *workers, shardNote)
 
-	// Ctrl-C cancels the campaign; the partial results are still
-	// summarized below.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C (or the supervisor's drain signal) cancels the campaign; the
+	// batch in flight still completes and reaches the checkpoint, and the
+	// partial results are summarized below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	start := time.Now()
 	results, runErr := eng.RunAll(ctx)
+	interrupted := false
 	if runErr != nil {
+		interrupted = errors.Is(runErr, context.Canceled)
 		fmt.Fprintf(os.Stderr, "avd: campaign ended early: %v\n", runErr)
 	}
+	if durable != nil {
+		// Fold the journal into a final snapshot so the next process (or
+		// the supervisor's merge) starts from one clean file.
+		if err := durable.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("durable checkpoint: %s (%d results)\n", durable.Path(), durable.Len())
+	}
 	fmt.Printf("\n%d tests in %v (wall)\n\n", len(results), time.Since(start).Round(time.Second))
-	if len(results) == 0 {
-		return
-	}
-	trace.SummarizeCampaign(os.Stdout, *strategy, results)
-	if cov, ok := explorer.(*core.CoverageExplorer); ok {
-		fmt.Printf("  corpus: %d entries kept of %d distinct behavior sets observed\n",
-			cov.Corpus().Len(), cov.Corpus().Behaviors())
-	}
+	if len(results) > 0 {
+		trace.SummarizeCampaign(os.Stdout, *strategy, results)
+		if cov, ok := explorer.(*core.CoverageExplorer); ok {
+			fmt.Printf("  corpus: %d entries kept of %d distinct behavior sets observed\n",
+				cov.Corpus().Len(), cov.Corpus().Behaviors())
+		}
 
-	best := append([]core.Result(nil), results...)
-	for i := 0; i < len(best); i++ {
-		for j := i + 1; j < len(best); j++ {
-			if best[j].Impact > best[i].Impact {
-				best[i], best[j] = best[j], best[i]
+		best := append([]core.Result(nil), results...)
+		for i := 0; i < len(best); i++ {
+			for j := i + 1; j < len(best); j++ {
+				if best[j].Impact > best[i].Impact {
+					best[i], best[j] = best[j], best[i]
+				}
 			}
 		}
-	}
-	n := *topN
-	if n > len(best) {
-		n = len(best)
-	}
-	fmt.Printf("\ntop %d attacks:\n", n)
-	for i := 0; i < n; i++ {
-		r := best[i]
-		fmt.Printf("  %d. impact=%.3f tput=%.0f req/s lat=%v crash=%d injected=%d/%d  %s%s%s\n",
-			i+1, r.Impact, r.Throughput, r.AvgLatency.Round(time.Millisecond),
-			r.CrashedReplicas, r.InjectedCrashes, r.Restarts,
-			r.Scenario.Key(), violationSuffix(r), errorSuffix(r))
-	}
-
-	if *minimize {
-		runMinimize(target, results, *minThresh, *minRuns)
-	}
-
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "avd:", err)
-			os.Exit(1)
+		n := *topN
+		if n > len(best) {
+			n = len(best)
 		}
-		defer f.Close()
-		if err := trace.WriteCampaignCSV(f, *strategy, results); err != nil {
-			fmt.Fprintln(os.Stderr, "avd:", err)
-			os.Exit(1)
+		fmt.Printf("\ntop %d attacks:\n", n)
+		for i := 0; i < n; i++ {
+			r := best[i]
+			fmt.Printf("  %d. impact=%.3f tput=%.0f req/s lat=%v crash=%d injected=%d/%d  %s%s%s\n",
+				i+1, r.Impact, r.Throughput, r.AvgLatency.Round(time.Millisecond),
+				r.CrashedReplicas, r.InjectedCrashes, r.Restarts,
+				r.Scenario.Key(), violationSuffix(r), errorSuffix(r))
 		}
-		fmt.Printf("\nwrote %s\n", *csvPath)
+
+		if *minimize {
+			runMinimize(target, results, *minThresh, *minRuns)
+		}
+
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := trace.WriteCampaignCSV(f, *strategy, results); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote %s\n", *csvPath)
+		}
 	}
+	if interrupted {
+		// Distinguish "drained on signal, checkpoint flushed" from
+		// natural completion so a supervisor knows the shard is not done.
+		os.Exit(3)
+	}
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avd:", err)
+	os.Exit(1)
 }
 
 // errorSuffix flags tests that degraded instead of completing: a hung
@@ -225,106 +292,4 @@ func runMinimize(target core.Target, results []core.Result, threshold float64, m
 	if !m.Reduced {
 		fmt.Println("  (already minimal: no probed reduction reproduces)")
 	}
-}
-
-// buildTarget assembles the requested system under test with its plugin
-// set; an empty plugin list uses the target's default attack surface.
-// Fault-vocabulary-v2 plugins from -faults are appended on top, so
-// `-faults crash` widens the default hyperspace instead of replacing it.
-func buildTarget(name, pluginsCS, faultsCS string, measure time.Duration, stepBudget uint64) (core.Target, error) {
-	switch name {
-	case "pbft":
-		plugins, err := parsePBFTPlugins(pluginsCS)
-		if err != nil {
-			return nil, err
-		}
-		w := cluster.DefaultWorkload()
-		faults, err := parseFaults(faultsCS, int64(w.PBFT.N))
-		if err != nil {
-			return nil, err
-		}
-		w.Measure = measure
-		w.StepBudget = stepBudget
-		return cluster.NewTarget(w, append(plugins, faults...)...)
-	case "raft":
-		plugins, err := parseRaftPlugins(pluginsCS)
-		if err != nil {
-			return nil, err
-		}
-		w := raftsim.DefaultWorkload()
-		faults, err := parseFaults(faultsCS, int64(w.Raft.N))
-		if err != nil {
-			return nil, err
-		}
-		w.Measure = measure
-		w.StepBudget = stepBudget
-		return raftsim.NewTarget(w, append(plugins, faults...)...)
-	default:
-		return nil, fmt.Errorf("unknown target %q (want pbft or raft)", name)
-	}
-}
-
-// parseFaults maps -faults names to the shared fault-vocabulary-v2
-// plugins, sized to the target cluster. "corrupt" and "dup" are two axes
-// of the same netfaults plugin, so naming either (or both) arms it once.
-func parseFaults(cs string, nodes int64) ([]core.Plugin, error) {
-	var out []core.Plugin
-	netFaults := false
-	for _, name := range strings.Split(cs, ",") {
-		switch strings.TrimSpace(name) {
-		case "crash":
-			out = append(out, plugin.NewCrashRestart())
-		case "skew":
-			out = append(out, plugin.NewClockSkew(nodes))
-		case "oneway":
-			out = append(out, plugin.NewOneWay(nodes))
-		case "corrupt", "dup":
-			netFaults = true
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown fault %q (want crash, skew, oneway, corrupt or dup)", name)
-		}
-	}
-	if netFaults {
-		out = append(out, plugin.NewNetFaults(nodes))
-	}
-	return out, nil
-}
-
-func parsePBFTPlugins(cs string) ([]core.Plugin, error) {
-	var out []core.Plugin
-	for _, name := range strings.Split(cs, ",") {
-		switch strings.TrimSpace(name) {
-		case "maccorrupt":
-			out = append(out, plugin.NewMACCorrupt())
-		case "clients":
-			out = append(out, plugin.NewClients())
-		case "reorder":
-			out = append(out, &plugin.Reorder{})
-		case "faultplan":
-			out = append(out, plugin.NewFaultPlan())
-		case "slowprimary":
-			out = append(out, &plugin.SlowPrimary{})
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown pbft plugin %q", name)
-		}
-	}
-	return out, nil
-}
-
-func parseRaftPlugins(cs string) ([]core.Plugin, error) {
-	var out []core.Plugin
-	for _, name := range strings.Split(cs, ",") {
-		switch strings.TrimSpace(name) {
-		case "raftclients":
-			out = append(out, raftsim.NewClientsPlugin())
-		case "leaderflap":
-			out = append(out, raftsim.NewLeaderFlapPlugin())
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown raft plugin %q", name)
-		}
-	}
-	return out, nil
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildBinaries compiles cmd/avd and cmd/avdd into a temp dir once per
+// test run. The children run as real processes — the kill-storm proof
+// needs genuine SIGKILL, fsync and process-restart behavior, not an
+// in-process simulation.
+func buildBinaries(t *testing.T) (avd, avdd string) {
+	t.Helper()
+	dir := t.TempDir()
+	avd = filepath.Join(dir, "avd")
+	avdd = filepath.Join(dir, "avdd")
+	for bin, pkg := range map[string]string{avd: "avd/cmd/avd", avdd: "avd/cmd/avdd"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return avd, avdd
+}
+
+// TestKillStormBitIdentical is the tentpole's proof: a supervised
+// sharded campaign whose workers are SIGKILLed mid-run must produce a
+// merged campaign — results, violations, coverage digests, test counts
+// — bit-identical to an uninterrupted run of the same seed and plan.
+// Each SIGKILLed worker restarts, truncates any torn journal tail,
+// replays its durable checkpoint and re-executes only what was never
+// acknowledged; the merge then proves zero tests were lost or
+// double-counted, because the summary embeds the FNV-64a fingerprint of
+// the full merged checkpoint encoding.
+func TestKillStormBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs real campaigns")
+	}
+	avd, avdd := buildBinaries(t)
+	work := t.TempDir()
+
+	run := func(name string, extra ...string) []byte {
+		t.Helper()
+		state := filepath.Join(work, name)
+		summary := filepath.Join(work, name+".summary")
+		args := []string{
+			"-worker", avd,
+			"-shards", "3",
+			"-state", state,
+			"-tests", "10",
+			"-seed", "3",
+			"-measure", "300ms",
+			"-retries", "10",
+			"-backoff", "50ms",
+			"-summary", summary,
+		}
+		args = append(args, extra...)
+		cmd := exec.Command(avdd, args...)
+		var errBuf bytes.Buffer
+		cmd.Stderr = &errBuf
+		if out, err := cmd.Output(); err != nil {
+			t.Fatalf("%s campaign: %v\nstdout:\n%s\nstderr:\n%s", name, err, out, errBuf.String())
+		}
+		t.Logf("%s supervision log:\n%s", name, errBuf.String())
+		data, err := os.ReadFile(summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	clean := run("clean")
+	storm := run("storm", "-storm", "5", "-stormevery", "250ms")
+	if !bytes.Equal(clean, storm) {
+		t.Fatalf("kill-storm campaign diverged from the uninterrupted run\n--- clean ---\n%s\n--- storm ---\n%s", clean, storm)
+	}
+}

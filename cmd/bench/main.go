@@ -28,10 +28,15 @@
 //     accumulated inside the harness, so overlapped work (the pipelined
 //     prefetcher, parallel workers, fork-path baselines) can make the
 //     sections sum past the campaign seconds.
+//   - sharded_campaign: the crash-safe sharded runtime's overhead — a
+//     K-shard PBFT campaign with durable checkpoints (journal fsync per
+//     batch), then the cold-resume cost of reloading every shard's
+//     durable state and the merge cost of combining the shards into one
+//     exactly-once campaign with its fingerprint.
 //
 // Modes:
 //
-//	bench -o BENCH_5.json             full measurement run
+//	bench -o BENCH_6.json             full measurement run
 //	bench -quick -o OUT.json          micro sections only (no campaigns)
 //	bench -compare OLD.json -o NEW    diff two reports; exit 1 on
 //	                                  regression (allocs strictly, time
@@ -45,6 +50,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -106,6 +112,23 @@ type defectSearch struct {
 	Coverage []int   `json:"coverage_tests_to_violation"`
 }
 
+// shardedBench measures the crash-safe sharded campaign runtime: the
+// throughput cost of journaling every batch to a durable checkpoint,
+// the cold-resume latency of reloading all shard state from disk, and
+// the cost of the exactly-once merge across shards.
+type shardedBench struct {
+	Shards          int     `json:"shards"`
+	Tests           int     `json:"tests"`
+	CampaignSeconds float64 `json:"campaign_seconds"`
+	TestsPerSec     float64 `json:"tests_per_sec"`
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	ResumeSeconds   float64 `json:"resume_seconds"`
+	ResumePerSec    float64 `json:"resume_results_per_sec"`
+	MergeSeconds    float64 `json:"merge_seconds"`
+	MergedResults   int     `json:"merged_results"`
+	Fingerprint     string  `json:"fingerprint"`
+}
+
 type coverageBench struct {
 	PBFTQuorum     defectSearch `json:"pbft_backup_quorum"`
 	RaftDoubleVote defectSearch `json:"raft_double_vote"`
@@ -131,6 +154,7 @@ type report struct {
 	EngineSched    opBench           `json:"engine_schedule"`
 	SnapshotFork   snapshotForkBench `json:"snapshot_fork"`
 	Coverage       coverageBench     `json:"coverage_explorer"`
+	Sharded        shardedBench      `json:"sharded_campaign"`
 }
 
 func toOp(r testing.BenchmarkResult) opBench {
@@ -143,7 +167,7 @@ func toOp(r testing.BenchmarkResult) opBench {
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_5.json", "output JSON file (with -compare: the NEW report to read)")
+		out     = flag.String("o", "BENCH_6.json", "output JSON file (with -compare: the NEW report to read)")
 		tests   = flag.Int("tests", 125, "campaign budget (Figure-2 size)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel campaign workers")
 		measure = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
@@ -184,7 +208,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:      5,
+		Schema:      6,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -248,6 +272,7 @@ func main() {
 		rep.RaftCampaign, _ = campaign("raft", func() core.Target { return newRaft() })
 		rep.SnapshotFork.CampaignTestsPerSec = rep.Campaign.SerialTestsPerSec
 		rep.Coverage = coverageSection()
+		rep.Sharded = shardedSection(*tests, *measure)
 	}
 
 	// Single test execution (Big MAC) and attack-free baseline run.
@@ -393,7 +418,102 @@ func main() {
 	fmt.Printf("snapshot fork: cold %.1fms/op (%d allocs), forked %.1fms/op (%d allocs)\n",
 		float64(rep.SnapshotFork.Cold.NsPerOp)/1e6, rep.SnapshotFork.Cold.AllocsPerOp,
 		float64(rep.SnapshotFork.Forked.NsPerOp)/1e6, rep.SnapshotFork.Forked.AllocsPerOp)
+	if rep.Sharded.MergedResults > 0 {
+		fmt.Printf("sharded campaign: %d shards, %.1fs (%.2f tests/s durable), resume %.0f results/s, merge %.3fs, %d bytes on disk\n",
+			rep.Sharded.Shards, rep.Sharded.CampaignSeconds, rep.Sharded.TestsPerSec,
+			rep.Sharded.ResumePerSec, rep.Sharded.MergeSeconds, rep.Sharded.CheckpointBytes)
+	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// --- Sharded crash-safe campaign measurement ---------------------------------
+
+// shardedSection runs a K-way sharded PBFT campaign where every shard
+// journals each batch to its own durable checkpoint, then measures the
+// cold-resume path (reload all shard state from disk) and the
+// exactly-once merge. The campaign itself prices the fsync-per-batch
+// durability tax; resume and merge price the recovery path a supervisor
+// pays after a crash.
+func shardedSection(tests int, measure time.Duration) shardedBench {
+	const shards = 4
+	fmt.Printf("sharded campaign: %d tests across %d durable shards...\n", tests, shards)
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	dir, err := os.MkdirTemp("", "avdbench-sharded")
+	die(err)
+	defer os.RemoveAll(dir)
+
+	w := cluster.DefaultWorkload()
+	w.Measure = measure
+	plugins := []core.Plugin{plugin.NewMACCorrupt(), plugin.NewClients()}
+	full, err := core.Space(plugins...)
+	die(err)
+	plan, err := core.PlanShards(full, shards)
+	die(err)
+
+	paths := make([]string, shards)
+	perShard := tests / shards
+	sb := shardedBench{Shards: shards, Tests: shards * perShard}
+
+	start := time.Now()
+	for k := 0; k < shards; k++ {
+		wrapped, err := plan.WrapPlugins(plugins, k)
+		die(err)
+		target, err := cluster.NewTarget(w, wrapped...)
+		die(err)
+		sub, err := plan.Subspace(full, k)
+		die(err)
+		paths[k] = filepath.Join(dir, fmt.Sprintf("shard-%d.ckpt", k))
+		d, _, err := core.OpenDurable(paths[k], sub)
+		die(err)
+		eng, err := core.NewEngine(target,
+			core.WithSeed(1), core.WithBudget(perShard), core.WithWorkers(1),
+			core.WithDurable(d))
+		die(err)
+		_, err = eng.RunAll(context.Background())
+		die(err)
+		die(d.Close())
+	}
+	sb.CampaignSeconds = time.Since(start).Seconds()
+	sb.TestsPerSec = float64(shards*perShard) / sb.CampaignSeconds
+
+	// Cold resume: reload every shard's durable state as a restarted
+	// supervisor would before merging.
+	start = time.Now()
+	loaded := make([][]core.Result, shards)
+	for k := 0; k < shards; k++ {
+		sub, err := plan.Subspace(full, k)
+		die(err)
+		results, _, err := core.ReadDurableResults(paths[k], sub)
+		die(err)
+		loaded[k] = results
+	}
+	sb.ResumeSeconds = time.Since(start).Seconds()
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err == nil {
+			sb.CheckpointBytes += fi.Size()
+		}
+		if fi, err := os.Stat(p + ".journal"); err == nil {
+			sb.CheckpointBytes += fi.Size()
+		}
+	}
+
+	start = time.Now()
+	merged, err := core.MergeShards(full, plan, loaded)
+	die(err)
+	fp, err := core.FingerprintResults(merged)
+	die(err)
+	sb.MergeSeconds = time.Since(start).Seconds()
+	sb.MergedResults = len(merged)
+	sb.Fingerprint = fp
+	if sb.ResumeSeconds > 0 {
+		sb.ResumePerSec = float64(sb.MergedResults) / sb.ResumeSeconds
+	}
+	return sb
 }
 
 // --- Coverage-guided search measurement --------------------------------------
@@ -599,6 +719,11 @@ func runCompare(oldPath, newPath string, timeTol float64) int {
 	opMetrics("snapshot_fork.forked", oldRep.SnapshotFork.Forked, newRep.SnapshotFork.Forked)
 	metrics = append(metrics, metric{"snapshot_fork.campaign_tests_per_sec",
 		oldRep.SnapshotFork.CampaignTestsPerSec, newRep.SnapshotFork.CampaignTestsPerSec, true, false})
+	metrics = append(metrics,
+		metric{"sharded_campaign.tests_per_sec",
+			oldRep.Sharded.TestsPerSec, newRep.Sharded.TestsPerSec, true, false},
+		metric{"sharded_campaign.resume_results_per_sec",
+			oldRep.Sharded.ResumePerSec, newRep.Sharded.ResumePerSec, true, false})
 
 	failed := false
 	for _, m := range metrics {

@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"avd/internal/core"
 	"avd/internal/plugin"
 )
@@ -41,4 +44,15 @@ func (t *Target) Plugins() []core.Plugin {
 	cp := make([]core.Plugin, len(t.plugins))
 	copy(cp, t.plugins)
 	return cp
+}
+
+// ConfigFingerprint implements core.ConfigFingerprinter: a durable
+// campaign records it in its manifest so a resume with a drifted
+// workload (different measure window, step budget, cluster shape) fails
+// fast instead of replaying a different system. Workload is a tree of
+// flat scalar structs, so its %+v rendering is deterministic.
+func (t *Target) ConfigFingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", t.Workload())
+	return fmt.Sprintf("%016x", h.Sum64())
 }

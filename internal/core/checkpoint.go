@@ -83,11 +83,77 @@ func (c *Checkpoint) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
+// CheckpointErrorKind classifies why checkpoint input failed to decode,
+// so callers can distinguish a recoverable torn tail (a process died
+// mid-write; the valid prefix is intact) from a file that was never a
+// checkpoint at all.
+type CheckpointErrorKind int
+
+const (
+	// CheckpointGarbage: the input does not start with the checkpoint
+	// header — it is not (and never was) a checkpoint. Nothing is
+	// recoverable.
+	CheckpointGarbage CheckpointErrorKind = iota
+	// CheckpointTornTail: the header and a prefix of complete records
+	// decoded, then the final line of the input failed to parse — the
+	// signature of a write cut short by a crash. Partial holds the
+	// recovered prefix.
+	CheckpointTornTail
+	// CheckpointCorrupt: a record in the middle of the file is malformed
+	// while later lines exist — damage, not a torn write. Partial holds
+	// the prefix decoded before the corruption.
+	CheckpointCorrupt
+)
+
+// String names the kind for error messages.
+func (k CheckpointErrorKind) String() string {
+	switch k {
+	case CheckpointGarbage:
+		return "garbage"
+	case CheckpointTornTail:
+		return "torn tail"
+	case CheckpointCorrupt:
+		return "corrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// CheckpointError is the typed failure of DecodeCheckpoint: Kind says
+// what went wrong, Line locates it, Recovered counts the complete
+// results decoded before the failure, and Partial (nil only for garbage
+// input) carries that valid prefix so recovery paths — the durable
+// checkpoint's torn-tail truncation — can resume from it.
+type CheckpointError struct {
+	Kind      CheckpointErrorKind
+	Line      int
+	Recovered int
+	Partial   *Checkpoint
+	Err       error
+}
+
+// Error implements error, spelling out what is and is not recoverable.
+func (e *CheckpointError) Error() string {
+	switch e.Kind {
+	case CheckpointGarbage:
+		return fmt.Sprintf("core: checkpoint line %d: not a checkpoint (%v)", e.Line, e.Err)
+	case CheckpointTornTail:
+		return fmt.Sprintf("core: checkpoint line %d: torn tail (%v); %d complete results recovered", e.Line, e.Err, e.Recovered)
+	default:
+		return fmt.Sprintf("core: checkpoint line %d: corrupt record (%v); %d results decoded before the damage", e.Line, e.Err, e.Recovered)
+	}
+}
+
+// Unwrap exposes the underlying parse error.
+func (e *CheckpointError) Unwrap() error { return e.Err }
+
 // DecodeCheckpoint reads a checkpoint written by Encode, rebuilding each
 // result's scenario against space (which must be the hyperspace of the
 // campaign that wrote the checkpoint — the engine's replay verification
-// catches mismatches on resume). It never panics on malformed input; it
-// returns an error naming the offending line.
+// catches mismatches on resume). It never panics on malformed input; on
+// failure the returned error is a *CheckpointError distinguishing a
+// recoverable torn tail (interrupted write, valid prefix preserved in
+// Partial) from garbage or mid-file corruption.
 func DecodeCheckpoint(r io.Reader, space *scenario.Space) (*Checkpoint, error) {
 	if space == nil {
 		return nil, fmt.Errorf("core: decode checkpoint needs a space")
@@ -96,16 +162,28 @@ func DecodeCheckpoint(r io.Reader, space *scenario.Space) (*Checkpoint, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("core: checkpoint header: %w", err)
+			return nil, &CheckpointError{Kind: CheckpointGarbage, Line: 1, Err: err}
 		}
-		return nil, fmt.Errorf("core: checkpoint is empty")
+		return nil, &CheckpointError{Kind: CheckpointGarbage, Line: 1, Err: fmt.Errorf("empty input")}
 	}
 	if sc.Text() != checkpointHeader {
-		return nil, fmt.Errorf("core: bad checkpoint header %q", sc.Text())
+		return nil, &CheckpointError{Kind: CheckpointGarbage, Line: 1, Err: fmt.Errorf("bad header %q", sc.Text())}
 	}
 	ck := NewCheckpoint()
 	line := 1
 	var last *Result
+	// fail builds the typed error for a record failure: a torn tail when
+	// the offending line is the input's final line (the fingerprint of an
+	// interrupted append), corruption when complete lines follow it.
+	fail := func(err error) error {
+		recovered := NewCheckpoint()
+		recovered.results = append(recovered.results, ck.results...)
+		kind := CheckpointCorrupt
+		if !sc.Scan() {
+			kind = CheckpointTornTail
+		}
+		return &CheckpointError{Kind: kind, Line: line, Recovered: recovered.Len(), Partial: recovered, Err: err}
+	}
 	for sc.Scan() {
 		line++
 		text := sc.Text()
@@ -113,7 +191,10 @@ func DecodeCheckpoint(r io.Reader, space *scenario.Space) (*Checkpoint, error) {
 		case strings.HasPrefix(text, "r "):
 			res, err := decodeResultLine(text[2:], space)
 			if err != nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+				if last != nil {
+					ck.append(*last)
+				}
+				return nil, fail(err)
 			}
 			if last != nil {
 				ck.append(*last)
@@ -121,35 +202,38 @@ func DecodeCheckpoint(r io.Reader, space *scenario.Space) (*Checkpoint, error) {
 			last = &res
 		case strings.HasPrefix(text, "e "):
 			if last == nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: extension before any result", line)
+				return nil, fail(fmt.Errorf("extension before any result"))
 			}
 			if err := decodeExtensionLine(text[2:], last); err != nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+				return nil, fail(err)
 			}
 		case strings.HasPrefix(text, "c "):
 			if last == nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: coverage before any result", line)
+				return nil, fail(fmt.Errorf("coverage before any result"))
 			}
 			if err := decodeCoverageLine(text[2:], last); err != nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+				return nil, fail(err)
 			}
 		case strings.HasPrefix(text, "v "):
 			if last == nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: violation before any result", line)
+				return nil, fail(fmt.Errorf("violation before any result"))
 			}
 			v, err := decodeViolationLine(text[2:])
 			if err != nil {
-				return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+				return nil, fail(err)
 			}
 			last.Violations = append(last.Violations, v)
 		case text == "":
 			// Tolerate a trailing newline.
 		default:
-			return nil, fmt.Errorf("core: checkpoint line %d: unknown record %q", line, text)
+			return nil, fail(fmt.Errorf("unknown record %q", text))
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+		if last != nil {
+			ck.append(*last)
+		}
+		return nil, fail(err)
 	}
 	if last != nil {
 		ck.append(*last)

@@ -96,6 +96,7 @@ type engineConfig struct {
 	explorer   Explorer
 	observer   CampaignObserver
 	checkpoint *Checkpoint
+	sink       func([]Result) error
 	coldRuns   bool
 }
 
@@ -154,6 +155,26 @@ func WithColdRuns() EngineOption {
 // proposal against the saved sequence and fails loudly on divergence.
 func WithCheckpoint(ck *Checkpoint) EngineOption {
 	return func(c *engineConfig) { c.checkpoint = ck }
+}
+
+// WithCheckpointSink registers a durability hook called with each newly
+// executed batch right after it reaches the in-memory checkpoint and
+// before its results are fed back or emitted. A sink that returns an
+// error stops the campaign — an engine that promised durability must not
+// keep executing tests it can no longer make durable. Replayed results
+// never reach the sink (they are already durable).
+func WithCheckpointSink(sink func([]Result) error) EngineOption {
+	return func(c *engineConfig) { c.sink = sink }
+}
+
+// WithDurable wires a DurableCheckpoint as both the engine's checkpoint
+// (replaying whatever it recovered) and its durability sink (journaling
+// each executed batch before the campaign moves on).
+func WithDurable(d *DurableCheckpoint) EngineOption {
+	return func(c *engineConfig) {
+		c.checkpoint = d.Checkpoint()
+		c.sink = d.Append
+	}
 }
 
 // Engine is the protocol-agnostic campaign driver: it connects one
@@ -446,6 +467,12 @@ func (e *Engine) drive(ctx context.Context, emit func(Result) bool) {
 		}
 		if e.cfg.checkpoint != nil && len(live) > 0 {
 			e.cfg.checkpoint.appendBatch(results[replayed : replayed+len(live)])
+		}
+		if e.cfg.sink != nil && len(live) > 0 {
+			if err := e.cfg.sink(results[replayed : replayed+len(live)]); err != nil {
+				e.setErr(fmt.Errorf("core: checkpoint sink: %w", err))
+				return
+			}
 		}
 		canceled := false
 		for i := range batch {

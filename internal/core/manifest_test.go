@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testManifest() Manifest {
+	return Manifest{
+		Target:    "pbft",
+		Strategy:  "avd",
+		Seed:      7,
+		Workers:   4,
+		Budget:    125,
+		Shards:    3,
+		Shard:     1,
+		ShardAxis: "mac_mask",
+		Space:     "mac_mask[0:4095:1] correct_clients[20:260:20]",
+		Config:    "deadbeefdeadbeef",
+	}
+}
+
+// TestManifestRoundtrip: Write then Load is the identity, and a missing
+// file surfaces as os.ErrNotExist for the first-run path.
+func TestManifestRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if _, err := LoadManifest(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing manifest: got %v, want ErrNotExist", err)
+	}
+	m := testManifest()
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("roundtrip changed the manifest: %+v vs %+v", got, m)
+	}
+	if err := got.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManifestValidateNamesEveryMismatch: a resume with drifted flags
+// must fail with an error naming each drifted field — the satellite
+// contract that mismatched seed, worker count or shard plan cannot
+// silently diverge.
+func TestManifestValidateNamesEveryMismatch(t *testing.T) {
+	saved := testManifest()
+	resume := saved
+	resume.Seed = 8
+	resume.Workers = 1
+	resume.Shards = 4
+	resume.ShardAxis = "correct_clients"
+	err := resume.Validate(saved)
+	if err == nil {
+		t.Fatal("mismatched resume must be rejected")
+	}
+	for _, want := range []string{"seed", "workers", "shards", "shard axis", "refusing to resume"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("mismatch error does not name %q: %v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "strategy") {
+		t.Fatalf("error names fields that did match: %v", err)
+	}
+}
+
+// TestManifestCorrupt: a manifest that fails to parse is an error, not
+// a silent fresh start.
+func TestManifestCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil || errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt manifest: got %v, want parse error", err)
+	}
+}

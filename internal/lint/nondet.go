@@ -25,6 +25,7 @@ var DefaultDeterministicPackages = []string{
 	"avd/internal/scenario",
 	"avd/internal/graycode",
 	"avd/internal/plugin",
+	"avd/internal/campaign",
 }
 
 // wallClockFuncs are the time package entry points that read or wait on

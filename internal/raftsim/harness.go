@@ -2,6 +2,7 @@ package raftsim
 
 import (
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"avd/internal/core"
@@ -498,4 +499,13 @@ func (t *Target) Plugins() []core.Plugin {
 	cp := make([]core.Plugin, len(t.plugins))
 	copy(cp, t.plugins)
 	return cp
+}
+
+// ConfigFingerprint implements core.ConfigFingerprinter, mirroring
+// cluster.Target: the workload is a tree of flat scalar structs, so its
+// %+v rendering is a deterministic resume guard.
+func (t *Target) ConfigFingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", t.Workload())
+	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -204,6 +204,22 @@ func (s *Space) New(values map[string]int64) Scenario {
 	return Scenario{space: s, values: vals}
 }
 
+// Rebind rebuilds a scenario of another space onto s by dimension name:
+// values carry over (clamped onto s's axes), dimensions the source lacks
+// take their minimum. Because dimension values are absolute, a scenario
+// of an axis-strided sub-space rebinds onto its parent space at exactly
+// the same point — the shard merge path depends on this.
+func (s *Space) Rebind(sc Scenario) Scenario {
+	vals := make([]int64, len(s.dims))
+	for i, d := range s.dims {
+		vals[i] = d.Min
+		if v, ok := sc.Get(d.Name); ok {
+			vals[i] = d.Clamp(v)
+		}
+	}
+	return Scenario{space: s, values: vals}
+}
+
 // Enumerate calls fn for every point of the space in lexicographic axis
 // order, stopping early if fn returns false.
 func (s *Space) Enumerate(fn func(Scenario) bool) {
