@@ -73,14 +73,32 @@ type opBench struct {
 type phaseBench = core.PhaseBreakdown
 
 type campaignBench struct {
-	Tests               int     `json:"tests"`
-	MeasureWindowMS     int64   `json:"measure_window_ms"`
-	SerialSeconds       float64 `json:"serial_seconds"`
-	SerialTestsPerSec   float64 `json:"serial_tests_per_sec"`
-	Workers             int     `json:"workers"`
+	Tests             int     `json:"tests"`
+	MeasureWindowMS   int64   `json:"measure_window_ms"`
+	SerialSeconds     float64 `json:"serial_seconds"`
+	SerialTestsPerSec float64 `json:"serial_tests_per_sec"`
+	Workers           int     `json:"workers"`
+	// EffectiveGOMAXPROCS is the scheduler parallelism the parallel run
+	// actually had (runtime.GOMAXPROCS at section time, not the machine's
+	// top-level num_cpu): speedup is bounded by it, so a 1.0x speedup on a
+	// 1-proc runner is the expected reading, not a regression.
+	EffectiveGOMAXPROCS int     `json:"effective_gomaxprocs"`
 	ParallelSeconds     float64 `json:"parallel_seconds"`
 	ParallelTestsPerSec float64 `json:"parallel_tests_per_sec"`
 	Speedup             float64 `json:"speedup"`
+}
+
+// matrixEntry is one cell of the worker-scaling matrix: the parallel
+// fig2 campaign pinned to a GOMAXPROCS value with a matching worker
+// count. On a single-proc container every row measures scheduling
+// overhead, not scaling — EXPERIMENTS.md records the matrix as
+// hardware-gated and the trajectory gate does not compare it.
+type matrixEntry struct {
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Workers     int     `json:"workers"`
+	Tests       int     `json:"tests"`
+	Seconds     float64 `json:"seconds"`
+	TestsPerSec float64 `json:"tests_per_sec"`
 }
 
 type keyBench struct {
@@ -147,6 +165,7 @@ type report struct {
 	Campaign       campaignBench     `json:"fig2_campaign"`
 	CampaignPhases phaseBench        `json:"campaign_phases"`
 	RaftCampaign   campaignBench     `json:"raft_campaign"`
+	WorkerMatrix   []matrixEntry     `json:"worker_matrix,omitempty"`
 	TestExec       opBench           `json:"test_execution"`
 	BaselineRun    opBench           `json:"baseline_run"`
 	RaftTestExec   opBench           `json:"raft_test_execution"`
@@ -167,12 +186,13 @@ func toOp(r testing.BenchmarkResult) opBench {
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_6.json", "output JSON file (with -compare: the NEW report to read)")
+		out     = flag.String("o", "BENCH_7.json", "output JSON file (with -compare: the NEW report to read)")
 		tests   = flag.Int("tests", 125, "campaign budget (Figure-2 size)")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel campaign workers")
 		measure = flag.Duration("measure", 1500*time.Millisecond, "virtual measurement window per test")
 		quick   = flag.Bool("quick", false, "micro benchmarks only (skip campaigns); for CI smoke runs")
 		reps    = flag.Int("reps", 2, "campaign repetitions per configuration; the fastest is reported (shared runners suffer multi-second steal spikes)")
+		matrix  = flag.Bool("matrix", false, "also run the GOMAXPROCS x workers scaling matrix (hardware-gated: meaningful only on multi-proc runners)")
 		compare = flag.String("compare", "", "compare the report in this file (OLD) against -o (NEW) and exit")
 		timeTol = flag.Float64("time-tolerance", 0.10, "allowed fractional regression for time-based metrics in -compare")
 	)
@@ -187,6 +207,12 @@ func main() {
 
 	w := cluster.DefaultWorkload()
 	w.Measure = *measure
+	// Baselines fork from warm attack-free masters (ISSUE 10) and a
+	// steady-state baseline converges well inside 300ms of virtual time
+	// (the cluster is already past its 300ms warmup when the window
+	// opens), so the campaign's baseline phase prices 25 short windows
+	// instead of 25 full attack windows.
+	w.BaselineMeasure = 300 * time.Millisecond
 	plugins := []core.Plugin{plugin.NewMACCorrupt(), plugin.NewClients()}
 	newPBFT := func() *cluster.Target {
 		t, err := cluster.NewTarget(w, plugins...)
@@ -198,6 +224,7 @@ func main() {
 	}
 	rw := raftsim.DefaultWorkload()
 	rw.Measure = *measure
+	rw.BaselineMeasure = 300 * time.Millisecond
 	newRaft := func() *raftsim.Target {
 		t, err := raftsim.NewTarget(rw)
 		if err != nil {
@@ -208,7 +235,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:      6,
+		Schema:      7,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -257,6 +284,7 @@ func main() {
 			SerialSeconds:       serial.Seconds(),
 			SerialTestsPerSec:   float64(*tests) / serial.Seconds(),
 			Workers:             *workers,
+			EffectiveGOMAXPROCS: runtime.GOMAXPROCS(0),
 			ParallelSeconds:     parallel.Seconds(),
 			ParallelTestsPerSec: float64(*tests) / parallel.Seconds(),
 			Speedup:             serial.Seconds() / parallel.Seconds(),
@@ -271,6 +299,28 @@ func main() {
 		rep.CampaignPhases = serialTarget.(*cluster.Target).Phases()
 		rep.RaftCampaign, _ = campaign("raft", func() core.Target { return newRaft() })
 		rep.SnapshotFork.CampaignTestsPerSec = rep.Campaign.SerialTestsPerSec
+		if *matrix {
+			// Worker-scaling matrix: the parallel fig2 campaign pinned to
+			// each GOMAXPROCS level with workers to match. The per-worker
+			// arena fork path (core.WorkerSnapshotter) removes the shared
+			// checkout lock, so on real multi-proc hardware the rows should
+			// approach linear; on a 1-proc container they measure only
+			// oversubscription overhead (EXPERIMENTS.md, hardware-gated).
+			prev := runtime.GOMAXPROCS(0)
+			for _, procs := range []int{1, 2, 4} {
+				runtime.GOMAXPROCS(procs)
+				fmt.Printf("worker matrix: GOMAXPROCS=%d, %d workers...\n", procs, procs)
+				el, _ := bestOf(func() core.Target { return newPBFT() }, procs)
+				rep.WorkerMatrix = append(rep.WorkerMatrix, matrixEntry{
+					GOMAXPROCS:  procs,
+					Workers:     procs,
+					Tests:       *tests,
+					Seconds:     el.Seconds(),
+					TestsPerSec: float64(*tests) / el.Seconds(),
+				})
+			}
+			runtime.GOMAXPROCS(prev)
+		}
 		rep.Coverage = coverageSection()
 		rep.Sharded = shardedSection(*tests, *measure)
 	}
@@ -293,19 +343,38 @@ func main() {
 		plugin.DimMaliciousClients: 1,
 	})
 	runner.Baseline(30) // warm so the per-op numbers measure one deployment
+	// The baseline fork parked a warm master; drop it so the cold-run
+	// loops below don't pay GC marking for a deployment they never fork
+	// from (a retained master measurably doubles cold ns/op).
+	runner.FlushMasters()
+	// Micro sections use the same min-of-N estimator as the campaigns:
+	// the measured work is deterministic and CPU-bound, steal noise on a
+	// shared host is strictly additive, so the fastest of -reps passes
+	// estimates the machine's true per-op cost. Alloc counts are
+	// identical across passes (deterministic simulations allocate
+	// deterministically), so min-of-N changes only the time estimate.
+	bestOp := func(fn func(b *testing.B)) opBench {
+		best := testing.Benchmark(fn)
+		for i := 1; i < *reps; i++ {
+			if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		return toOp(best)
+	}
 	fmt.Println("test execution micro-benchmarks...")
-	rep.TestExec = toOp(testing.Benchmark(func(b *testing.B) {
+	rep.TestExec = bestOp(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runner.Run(bigmac)
 		}
-	}))
-	rep.BaselineRun = toOp(testing.Benchmark(func(b *testing.B) {
+	})
+	rep.BaselineRun = bestOp(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runner.Run(clean)
 		}
-	}))
+	})
 
 	// Raft test execution: one full deployment under the election storm.
 	raftTarget := newRaft()
@@ -320,30 +389,31 @@ func main() {
 		raftsim.DimFlapDownMS:     200,
 	})
 	raftTarget.Baseline(10)
+	raftTarget.FlushMasters() // same cold-run hygiene as the PBFT section
 	fmt.Println("raft test execution micro-benchmark...")
-	rep.RaftTestExec = toOp(testing.Benchmark(func(b *testing.B) {
+	rep.RaftTestExec = bestOp(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			raftTarget.Run(storm)
 		}
-	}))
+	})
 
 	// Snapshot/fork execution: the same Big MAC test cold-built per run
 	// vs forked from the warm master snapshot.
 	fmt.Println("snapshot/fork micro-benchmarks...")
-	rep.SnapshotFork.Cold = toOp(testing.Benchmark(func(b *testing.B) {
+	rep.SnapshotFork.Cold = bestOp(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runner.Run(bigmac)
 		}
-	}))
+	})
 	runner.RunFork(bigmac) // build + warm + capture the master
-	rep.SnapshotFork.Forked = toOp(testing.Benchmark(func(b *testing.B) {
+	rep.SnapshotFork.Forked = bestOp(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runner.RunFork(bigmac)
 		}
-	}))
+	})
 
 	// Dedup identity.
 	rng := rand.New(rand.NewSource(1))
@@ -351,25 +421,25 @@ func main() {
 	for i := range scs {
 		scs[i] = space.Random(rng)
 	}
-	rep.ScenarioKey.String = toOp(testing.Benchmark(func(b *testing.B) {
+	rep.ScenarioKey.String = bestOp(func(b *testing.B) {
 		seen := make(map[string]bool, len(scs))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			seen[scs[i%len(scs)].Key()] = true
 		}
-	}))
-	rep.ScenarioKey.Compact = toOp(testing.Benchmark(func(b *testing.B) {
+	})
+	rep.ScenarioKey.Compact = bestOp(func(b *testing.B) {
 		seen := make(map[scenario.CompactKey]bool, len(scs))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			seen[scs[i%len(scs)].Compact()] = true
 		}
-	}))
+	})
 
 	// Engine timer churn.
-	rep.EngineSched = toOp(testing.Benchmark(func(b *testing.B) {
+	rep.EngineSched = bestOp(func(b *testing.B) {
 		e := sim.New(1)
 		fn := func() {}
 		for i := 0; i < 1024; i++ {
@@ -382,7 +452,7 @@ func main() {
 			e.Schedule(time.Microsecond, fn)
 			e.Step()
 		}
-	}))
+	})
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -395,10 +465,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("\npbft campaign: serial %.1fs (%.2f tests/s), %d workers %.1fs (%.2f tests/s), speedup %.2fx\n",
+	fmt.Printf("\npbft campaign: serial %.1fs (%.2f tests/s), %d workers on %d procs %.1fs (%.2f tests/s), speedup %.2fx\n",
 		rep.Campaign.SerialSeconds, rep.Campaign.SerialTestsPerSec,
-		rep.Campaign.Workers, rep.Campaign.ParallelSeconds, rep.Campaign.ParallelTestsPerSec,
+		rep.Campaign.Workers, rep.Campaign.EffectiveGOMAXPROCS,
+		rep.Campaign.ParallelSeconds, rep.Campaign.ParallelTestsPerSec,
 		rep.Campaign.Speedup)
+	for _, m := range rep.WorkerMatrix {
+		fmt.Printf("worker matrix: GOMAXPROCS=%d workers=%d: %.1fs (%.2f tests/s)\n",
+			m.GOMAXPROCS, m.Workers, m.Seconds, m.TestsPerSec)
+	}
 	fmt.Printf("raft campaign: serial %.1fs (%.2f tests/s), %d workers %.1fs (%.2f tests/s), speedup %.2fx\n",
 		rep.RaftCampaign.SerialSeconds, rep.RaftCampaign.SerialTestsPerSec,
 		rep.RaftCampaign.Workers, rep.RaftCampaign.ParallelSeconds, rep.RaftCampaign.ParallelTestsPerSec,
@@ -700,8 +775,14 @@ func runCompare(oldPath, newPath string, timeTol float64) int {
 		)
 	}
 	opMetrics := func(prefix string, o, n opBench) {
+		if o.NsPerOp == 0 && n.NsPerOp != 0 {
+			// A section the old report predates must not fail the gate:
+			// warn and let the new numbers seed the trajectory.
+			fmt.Printf("%-42s absent in %s; skipped (new section)\n", prefix, oldPath)
+			return
+		}
 		if o.NsPerOp == 0 || n.NsPerOp == 0 {
-			return // section absent in one report (-quick run or schema drift)
+			return // section absent in the new report (-quick run or schema drift)
 		}
 		metrics = append(metrics,
 			metric{prefix + ".ns_per_op", float64(o.NsPerOp), float64(n.NsPerOp), false, false},
@@ -728,6 +809,9 @@ func runCompare(oldPath, newPath string, timeTol float64) int {
 	failed := false
 	for _, m := range metrics {
 		if m.higherBetter && (m.old == 0 || m.new == 0) {
+			if m.old == 0 && m.new != 0 {
+				fmt.Printf("%-42s absent in %s; skipped (new section)\n", m.name, oldPath)
+			}
 			continue // campaign section absent in one report
 		}
 		tol := timeTol

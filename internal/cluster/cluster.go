@@ -9,7 +9,6 @@ package cluster
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"avd/internal/core"
@@ -43,6 +42,14 @@ type Workload struct {
 	// Measure is the measurement window over which throughput and
 	// latency are computed.
 	Measure time.Duration
+	// BaselineMeasure, when positive, is the measurement window for
+	// attack-free baseline measurements; zero means Measure. Baselines
+	// estimate steady-state throughput of a warm, fault-free cluster — a
+	// far less noisy quantity than an attacked run — so campaign drivers
+	// (cmd/bench, cmd/fig2) shorten this window to keep the baseline
+	// phase off the critical path. Zero keeps baselines on the full
+	// Measure window.
+	BaselineMeasure time.Duration
 	// Correct configures the correct closed-loop clients.
 	Correct pbft.ClientConfig
 	// Malicious configures the MAC-corrupting clients.
@@ -158,6 +165,11 @@ type Runner struct {
 	// test with that population forks from the snapshot instead of
 	// cold-building the cluster.
 	masters core.ForkCache[masterKey, *deployment]
+
+	// workerMasters holds each parallel campaign worker's private master
+	// arena for the contention-free fork path (core.WorkerSnapshotter):
+	// no shared checkout mutex, one build per (worker, population).
+	workerMasters core.WorkerArenas[masterKey, *deployment]
 }
 
 // masterKey is the structural identity of a deployment: everything that
@@ -176,7 +188,18 @@ func NewRunner(w Workload) (*Runner, error) {
 	if w.MaskBits == 0 || w.MaskBits > 32 {
 		return nil, fmt.Errorf("cluster: mask bits %d out of range [1,32]", w.MaskBits)
 	}
+	if w.BaselineMeasure < 0 {
+		return nil, fmt.Errorf("cluster: baseline measurement window must not be negative")
+	}
 	return &Runner{w: w}, nil
+}
+
+// baselineWindow is the measurement window for attack-free baselines.
+func (w Workload) baselineWindow() time.Duration {
+	if w.BaselineMeasure > 0 {
+		return w.BaselineMeasure
+	}
+	return w.Measure
 }
 
 // Workload returns the runner's workload.
@@ -243,6 +266,37 @@ func (r *Runner) runScoredExtra(sc scenario.Scenario, fork bool, extra ...oracle
 	} else {
 		res, rep = r.execute(sc, correct, true, extra...)
 	}
+	return r.score(correct, res, rep)
+}
+
+var _ core.WorkerSnapshotter = (*Runner)(nil)
+
+// RunForkWorker implements core.WorkerSnapshotter: the forked run checks
+// its master out of the worker slot's private arena instead of the
+// shared ForkCache, so parallel campaign workers never contend on the
+// checkout mutex. The master build, the fork and the measurement are the
+// same deterministic steps as RunFork's, so results are bit-for-bit
+// identical regardless of which slot runs a scenario (enforced by test).
+func (r *Runner) RunForkWorker(sc scenario.Scenario, worker int) core.Result {
+	correct := sc.GetOr(plugin.DimCorrectClients, 10)
+	arena := r.workerMasters.Arena(worker)
+	key := masterKey{correct: correct, malicious: maliciousPopulation(sc)}
+	d := arena[key]
+	if d == nil {
+		start := metrics.StartWatch()
+		d = r.newDeployment(key.correct, key.malicious)
+		d.eng.RunFor(r.w.Warmup)
+		arena[key] = d
+		r.phases.AddWarmup(start.Elapsed())
+	}
+	res, rep := r.forkRun(d, sc, true, r.w.Measure)
+	res, _ = r.score(correct, res, rep)
+	return res
+}
+
+// score computes the impact of a measured result against the cached
+// attack-free baseline for the population.
+func (r *Runner) score(correct int64, res core.Result, rep Report) (core.Result, Report) {
 	baseline := r.Baseline(correct)
 	analyzeStart := metrics.StartWatch()
 	defer func() { r.phases.AddAnalyze(analyzeStart.Elapsed()) }()
@@ -286,12 +340,14 @@ func (r *Runner) measureBaseline(correctClients int64) float64 {
 	empty := scenario.MustNewSpace(scenario.Dimension{
 		Name: plugin.DimCorrectClients, Min: correctClients, Max: correctClients, Step: 1,
 	}).New(nil)
-	// Baselines run cold and the deployment is discarded: the (count, 0)
-	// population is never forked again (scenarios always deploy at least
-	// one malicious client), the value is memoized by the BaselineCache,
-	// and caching the master would only add a dead cluster to every GC
-	// mark phase plus a snapshot capture nobody restores.
-	res, _ := r.execute(empty, correctClients, false)
+	// Baselines fork from the same warm master attack runs use — the
+	// raft treatment (ISSUE 10). Faults arm at measurement start, so the
+	// warmed snapshot is already fault-neutral: a baseline is simply a
+	// fork with nothing armed, and the baseline phase prices only its
+	// short measurement windows, never a duplicate build+warm per count.
+	// The value is memoized per count by the BaselineCache, so every
+	// population sharing the count pays zero.
+	res, _ := r.executeFork(empty, correctClients, false)
 	return res.Throughput
 }
 
@@ -319,7 +375,7 @@ var _ core.Preparer = (*Runner)(nil)
 // and the baseline the same memoized measurement.
 func (r *Runner) Prepare(sc scenario.Scenario) {
 	correct := sc.GetOr(plugin.DimCorrectClients, 10)
-	key := masterKey{correct: correct, malicious: armedMalicious(sc, true)}
+	key := masterKey{correct: correct, malicious: maliciousPopulation(sc)}
 	r.masters.Prepare(key, func() *deployment {
 		start := metrics.StartWatch()
 		d := r.newDeployment(key.correct, key.malicious)
@@ -338,31 +394,58 @@ func (r *Runner) Prepare(sc scenario.Scenario) {
 // cmd/bench isolates campaigns by constructing a fresh target per run.
 func (r *Runner) Phases() core.PhaseBreakdown { return r.phases.Breakdown() }
 
+// FlushMasters discards every parked warm master. Benchmarks that switch
+// from fork-based execution to cold-run measurement call it so the
+// cold runs aren't taxed by GC marking of retained deployments they will
+// never fork from; the next forked run transparently rebuilds.
+func (r *Runner) FlushMasters() { r.masters.DropAll() }
+
 // execute builds, warms and runs one cold deployment. withFaults=false
 // strips every malicious element (baseline measurement). Faults arm at
 // measurement start — identically to the forked path, so a cold run is
 // the forked run's reference semantics.
 func (r *Runner) execute(sc scenario.Scenario, correctClients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
-	d := r.newDeployment(correctClients, armedMalicious(sc, withFaults))
+	window := r.w.Measure
+	if !withFaults {
+		window = r.w.baselineWindow()
+	}
+	d := r.newDeployment(correctClients, maliciousPopulation(sc))
 	d.eng.RunFor(r.w.Warmup)
 	d.arm(sc, withFaults, extra...)
-	return d.measure(sc)
+	return d.measure(sc, window)
 }
 
 // executeFork runs the scenario by forking a warm master deployment:
 // check out (or build) a master for the scenario's client population,
 // restore it to its post-warmup snapshot, arm the scenario's faults and
-// measure.
+// measure. Baseline forks (withFaults=false) skip the per-phase
+// accounting: measureBaseline attributes their whole cost — including
+// the attack-free master's build — to the baseline phase.
 func (r *Runner) executeFork(sc scenario.Scenario, correctClients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
-	key := masterKey{correct: correctClients, malicious: armedMalicious(sc, withFaults)}
+	window := r.w.Measure
+	if !withFaults {
+		window = r.w.baselineWindow()
+	}
+	key := masterKey{correct: correctClients, malicious: maliciousPopulation(sc)}
 	d := r.masters.Acquire(key, func() *deployment {
 		start := metrics.StartWatch()
-		defer func() { r.phases.AddWarmup(start.Elapsed()) }()
+		defer func() {
+			if withFaults {
+				r.phases.AddWarmup(start.Elapsed())
+			}
+		}()
 		d := r.newDeployment(key.correct, key.malicious)
 		d.eng.RunFor(r.w.Warmup)
 		return d
 	})
 	defer r.masters.Release(key, d)
+	return r.forkRun(d, sc, withFaults, window, extra...)
+}
+
+// forkRun restores a checked-out master to its post-warmup snapshot
+// (capturing it on first use), arms the scenario and measures. Shared by
+// the pooled (executeFork) and per-worker-arena (RunForkWorker) paths.
+func (r *Runner) forkRun(d *deployment, sc scenario.Scenario, withFaults bool, window time.Duration, extra ...oracle.Checker) (core.Result, Report) {
 	forkStart := metrics.StartWatch()
 	if d.snap == nil {
 		d.capture()
@@ -370,29 +453,26 @@ func (r *Runner) executeFork(sc scenario.Scenario, correctClients int64, withFau
 		d.restore()
 	}
 	d.arm(sc, withFaults, extra...)
-	r.phases.AddFork(forkStart.Elapsed())
+	if withFaults {
+		r.phases.AddFork(forkStart.Elapsed())
+	}
 	runStart := metrics.StartWatch()
-	res, rep := d.measure(sc)
-	r.phases.AddRun(runStart.Elapsed())
+	res, rep := d.measure(sc, window)
+	if withFaults {
+		r.phases.AddRun(runStart.Elapsed())
+	}
 	return res, rep
 }
 
-// armedMalicious is the malicious-client population a scenario deploys
-// (zero for baseline measurements).
-func armedMalicious(sc scenario.Scenario, withFaults bool) int64 {
-	if !withFaults {
-		return 0
-	}
+// maliciousPopulation is the malicious-client population a scenario
+// deploys. The population is topology, not behavior: baseline runs
+// deploy the same clients and simply never arm their corruption plans
+// (faults arm at measurement start, so a warmed master snapshot is
+// fault-neutral and one master per (count, population) serves attack
+// forks and baseline forks alike).
+func maliciousPopulation(sc scenario.Scenario) int64 {
 	return sc.GetOr(plugin.DimMaliciousClients, 1)
 }
-
-// tailPool recycles latency-tail buffers across test executions: one
-// test can record tens of thousands of completions, and reusing the
-// backing arrays keeps per-execute garbage flat over long campaigns.
-var tailPool = sync.Pool{New: func() any {
-	s := make([]time.Duration, 0, 4096)
-	return &s
-}}
 
 // dropWindow drops sends from one address for call numbers in
 // [start, start+length) — the FaultPlan plugin's network fault.

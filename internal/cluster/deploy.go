@@ -203,6 +203,12 @@ func (d *deployment) restore() {
 	}
 	for i, m := range d.malicious {
 		m.Restore(s.malicious[i])
+		// Disarm: the plan and broadcast flag are arm-time settings, not
+		// snapshot state — a master now serves attack forks and baseline
+		// forks alike, so a fork that arms nothing must get a client as
+		// benign as the post-warmup original.
+		m.SetPlan(faultinject.NewPlan())
+		m.SetBroadcast(false)
 	}
 	*d.byz = pbft.ByzantineBehavior{}
 	d.measuring = false
@@ -408,21 +414,17 @@ func corruptPayload(from, to simnet.Addr, payload any) any {
 	return nil
 }
 
-// measure runs the measurement window and collects the scenario outcome.
-func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
-	tailBuf := tailPool.Get().(*[]time.Duration)
-	d.latTail = (*tailBuf)[:0]
-	defer func() {
-		*tailBuf = d.latTail[:0]
-		tailPool.Put(tailBuf)
-		d.latTail = nil
-	}()
+// measure runs the given measurement window and collects the scenario
+// outcome. Attack runs pass Workload.Measure; attack-free baselines may
+// pass the shorter Workload.baselineWindow.
+func (d *deployment) measure(sc scenario.Scenario, window time.Duration) (core.Result, Report) {
+	d.latTail = d.latTail[:0]
 
 	d.measuring = true
 	if d.w.StepBudget > 0 {
 		d.eng.SetStepBudget(d.w.StepBudget)
 	}
-	d.eng.RunFor(d.w.Measure)
+	d.eng.RunFor(window)
 	hung := d.eng.BudgetExceeded()
 	if d.w.StepBudget > 0 {
 		d.eng.SetStepBudget(0)
@@ -445,7 +447,7 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 	}
 
 	res := core.Result{Scenario: sc}
-	res.Throughput = float64(d.completed) / d.w.Measure.Seconds()
+	res.Throughput = float64(d.completed) / window.Seconds()
 	if d.latN > 0 {
 		res.AvgLatency = d.latSum / time.Duration(d.latN)
 	}

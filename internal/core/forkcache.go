@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ForkCache is the master-deployment checkout that fork-capable
@@ -114,10 +115,69 @@ func (c *ForkCache[K, D]) Prepare(key K, build func() D) {
 	c.mu.Unlock()
 }
 
+// DropAll discards every cached deployment. Callers use it to retire
+// masters that will not be checked out again — a parked warm deployment
+// is pure GC scan-set weight (the PR 5 lesson: dead masters measurably
+// slow every cold run that allocates alongside them; cmd/bench flushes
+// between its campaign and cold-run sections for exactly this reason).
+// Subsequent Acquires simply rebuild.
+func (c *ForkCache[K, D]) DropAll() {
+	c.mu.Lock()
+	clear(c.free)
+	c.mu.Unlock()
+}
+
 // FreeLen reports the number of cached deployments for key (test and
 // diagnostics hook).
 func (c *ForkCache[K, D]) FreeLen(key K) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.free[key])
+}
+
+// WorkerArenas is the contention-free sibling of ForkCache (DESIGN.md
+// §14): instead of a shared checkout pool, every campaign worker slot
+// owns a private arena of masters keyed by structural identity. The
+// engine guarantees at most one in-flight run per slot, so arena access
+// needs no lock at all — only growing the slot table synchronizes, via
+// copy-on-write on an atomic pointer, and that happens once per new
+// slot, not per run. Masters live for the runner's lifetime: a campaign
+// pays one build per (worker, population) and forks for free thereafter.
+// The zero value is ready to use.
+type WorkerArenas[K comparable, D any] struct {
+	mu     sync.Mutex
+	arenas atomic.Pointer[[]map[K]D]
+}
+
+// Arena returns the worker slot's private arena, growing the slot table
+// on first sight of the index. The caller owns the returned map
+// exclusively until its run completes (the WorkerSnapshotter contract).
+func (a *WorkerArenas[K, D]) Arena(worker int) map[K]D {
+	if p := a.arenas.Load(); p != nil && worker < len(*p) {
+		return (*p)[worker]
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var cur []map[K]D
+	if p := a.arenas.Load(); p != nil {
+		cur = *p
+	}
+	if worker < len(cur) {
+		return cur[worker]
+	}
+	grown := make([]map[K]D, worker+1)
+	copy(grown, cur)
+	for i := len(cur); i < len(grown); i++ {
+		grown[i] = make(map[K]D)
+	}
+	a.arenas.Store(&grown)
+	return grown[worker]
+}
+
+// Size reports the number of worker slots grown so far (test hook).
+func (a *WorkerArenas[K, D]) Size() int {
+	if p := a.arenas.Load(); p != nil {
+		return len(*p)
+	}
+	return 0
 }

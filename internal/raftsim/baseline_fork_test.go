@@ -1,0 +1,85 @@
+package raftsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"avd/internal/scenario"
+)
+
+func raftBaselineScenario(t *testing.T, clients int64) scenario.Scenario {
+	t.Helper()
+	return scenario.MustNewSpace(scenario.Dimension{
+		Name: DimClients, Min: clients, Max: clients, Step: 1,
+	}).New(nil)
+}
+
+// TestBaselineForkedEqualsCold pins the warm-fork baseline contract for
+// the Raft target (ISSUE 10): an attack-free baseline forked from the
+// per-count master must be bit-for-bit the cold-built baseline.
+func TestBaselineForkedEqualsCold(t *testing.T) {
+	w := DefaultWorkload()
+	w.Warmup = 300 * time.Millisecond
+	w.Measure = 800 * time.Millisecond
+	for _, clients := range []int64{10, 25} {
+		cold, err := NewRunner(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forked, err := NewRunner(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := raftBaselineScenario(t, clients)
+		coldRes, coldRep := cold.execute(sc, clients, false)
+		forkRes, forkRep := forked.executeFork(sc, clients, false)
+		if !reflect.DeepEqual(coldRes, forkRes) {
+			t.Errorf("clients=%d: forked baseline Result differs from cold:\ncold: %+v\nfork: %+v", clients, coldRes, forkRes)
+		}
+		if !reflect.DeepEqual(coldRep, forkRep) {
+			t.Errorf("clients=%d: forked baseline Report differs from cold:\ncold: %+v\nfork: %+v", clients, coldRep, forkRep)
+		}
+		againRes, againRep := forked.executeFork(sc, clients, false)
+		if !reflect.DeepEqual(forkRes, againRes) || !reflect.DeepEqual(forkRep, againRep) {
+			t.Errorf("clients=%d: re-forked baseline diverged from first fork", clients)
+		}
+	}
+}
+
+// TestBaselineWindowForkedEqualsCold: the cold and forked baseline paths
+// agree when BaselineMeasure shortens the baseline window.
+func TestBaselineWindowForkedEqualsCold(t *testing.T) {
+	w := DefaultWorkload()
+	w.Warmup = 300 * time.Millisecond
+	w.Measure = 800 * time.Millisecond
+	w.BaselineMeasure = 300 * time.Millisecond
+	cold, err := NewRunner(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := NewRunner(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := raftBaselineScenario(t, 15)
+	coldRes, _ := cold.execute(sc, 15, false)
+	forkRes, _ := forked.executeFork(sc, 15, false)
+	if !reflect.DeepEqual(coldRes, forkRes) {
+		t.Errorf("forked baseline under BaselineMeasure differs from cold:\ncold: %+v\nfork: %+v", coldRes, forkRes)
+	}
+}
+
+// TestBaselineMeasureValidation: a negative baseline window is rejected;
+// zero keeps the full Measure window.
+func TestBaselineMeasureValidation(t *testing.T) {
+	w := DefaultWorkload()
+	w.BaselineMeasure = -time.Second
+	if _, err := NewRunner(w); err == nil {
+		t.Error("negative BaselineMeasure accepted")
+	}
+	w.BaselineMeasure = 0
+	if got := w.baselineWindow(); got != w.Measure {
+		t.Errorf("zero BaselineMeasure: window %v, want Measure %v", got, w.Measure)
+	}
+}

@@ -53,6 +53,11 @@ type Client struct {
 	retry    sim.Timer
 	retryFn  func()
 
+	// reqSlab bump-allocates outgoing requests; Restore rewinds it
+	// (slab.go), so retransmission storms cost no heap allocations on the
+	// forked hot path.
+	reqSlab slab[ClientRequest]
+
 	onComplete func(seq uint64, latency time.Duration)
 	stats      ClientStats
 }
@@ -138,7 +143,9 @@ func (c *Client) issueNext() {
 }
 
 func (c *Client) send() {
-	c.net.Send(c.addr, simnet.Addr(c.target), &ClientRequest{Client: c.addr, Seq: c.seq})
+	req := c.reqSlab.get()
+	*req = ClientRequest{Client: c.addr, Seq: c.seq}
+	c.net.Send(c.addr, simnet.Addr(c.target), req)
 	c.armRetry()
 }
 

@@ -214,8 +214,10 @@ func (d *deployment) arm(sc scenario.Scenario, withFaults bool, extra ...oracle.
 	}
 }
 
-// measure runs the measurement window and collects the scenario outcome.
-func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
+// measure runs the given measurement window and collects the scenario
+// outcome. Attack runs pass Workload.Measure; attack-free baselines may
+// pass the shorter Workload.baselineWindow.
+func (d *deployment) measure(sc scenario.Scenario, window time.Duration) (core.Result, Report) {
 	d.latTail = d.latTail[:0]
 
 	d.measuring = true
@@ -223,7 +225,7 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 	if d.w.StepBudget > 0 {
 		d.eng.SetStepBudget(d.w.StepBudget)
 	}
-	d.eng.RunFor(d.w.Measure)
+	d.eng.RunFor(window)
 	hung := d.eng.BudgetExceeded()
 	if d.w.StepBudget > 0 {
 		d.eng.SetStepBudget(0)
@@ -244,7 +246,7 @@ func (d *deployment) measure(sc scenario.Scenario) (core.Result, Report) {
 	}
 
 	res := core.Result{Scenario: sc}
-	res.Throughput = float64(d.completed) / d.w.Measure.Seconds()
+	res.Throughput = float64(d.completed) / window.Seconds()
 	if d.latN > 0 {
 		res.AvgLatency = d.latSum / time.Duration(d.latN)
 	}

@@ -32,6 +32,12 @@ type Workload struct {
 	Warmup time.Duration
 	// Measure is the measurement window.
 	Measure time.Duration
+	// BaselineMeasure, when positive, is a shorter measurement window
+	// used only for attack-free baseline runs: a steady-state baseline
+	// converges long before the full attack window elapses, and the
+	// window dominates baseline cost once masters are warm-forked. Zero
+	// means "use Measure", preserving historical results bit-for-bit.
+	BaselineMeasure time.Duration
 	// Client configures the closed-loop clients.
 	Client ClientConfig
 	// LatencyRef scales the latency component of the impact metric (see
@@ -93,6 +99,11 @@ type Runner struct {
 	// measurement start, so scenario runs and baselines fork from the
 	// same per-count master.
 	masters core.ForkCache[int64, *deployment]
+
+	// workerMasters holds each parallel campaign worker's private master
+	// arena for the contention-free fork path (core.WorkerSnapshotter):
+	// no shared checkout mutex, one build per (worker, count).
+	workerMasters core.WorkerArenas[int64, *deployment]
 }
 
 // NewRunner returns a runner for the workload.
@@ -103,7 +114,18 @@ func NewRunner(w Workload) (*Runner, error) {
 	if w.Measure <= 0 {
 		return nil, fmt.Errorf("raftsim: measurement window must be positive")
 	}
+	if w.BaselineMeasure < 0 {
+		return nil, fmt.Errorf("raftsim: baseline measurement window must not be negative")
+	}
 	return &Runner{w: w}, nil
+}
+
+// baselineWindow is the measurement window for attack-free baselines.
+func (w Workload) baselineWindow() time.Duration {
+	if w.BaselineMeasure > 0 {
+		return w.BaselineMeasure
+	}
+	return w.Measure
 }
 
 // Workload returns the runner's workload.
@@ -173,6 +195,34 @@ func (r *Runner) runScored(sc scenario.Scenario, fork bool, rec *oracle.Recorder
 	} else {
 		res, rep = r.execute(sc, clients, true, extra...)
 	}
+	return r.score(clients, res, rep)
+}
+
+var _ core.WorkerSnapshotter = (*Runner)(nil)
+
+// RunForkWorker implements core.WorkerSnapshotter: the forked run checks
+// its master out of the worker slot's private arena instead of the
+// shared ForkCache, so parallel campaign workers never contend on the
+// checkout mutex. Results are bit-for-bit RunFork's (enforced by test).
+func (r *Runner) RunForkWorker(sc scenario.Scenario, worker int) core.Result {
+	clients := sc.GetOr(DimClients, 10)
+	arena := r.workerMasters.Arena(worker)
+	d := arena[clients]
+	if d == nil {
+		start := metrics.StartWatch()
+		d = r.newDeployment(clients)
+		d.eng.RunFor(r.w.Warmup)
+		arena[clients] = d
+		r.phases.AddWarmup(start.Elapsed())
+	}
+	res, rep := r.forkRun(d, sc, true, r.w.Measure)
+	res, _ = r.score(clients, res, rep)
+	return res
+}
+
+// score computes the impact of a measured result against the cached
+// attack-free baseline for the client count.
+func (r *Runner) score(clients int64, res core.Result, rep Report) (core.Result, Report) {
 	baseline := r.Baseline(clients)
 	analyzeStart := metrics.StartWatch()
 	defer func() { r.phases.AddAnalyze(analyzeStart.Elapsed()) }()
@@ -253,6 +303,11 @@ func (r *Runner) Prepare(sc scenario.Scenario) {
 // core.PhaseTimes). The accumulators live for the Runner's lifetime;
 // cmd/bench isolates campaigns by constructing a fresh target per run.
 func (r *Runner) Phases() core.PhaseBreakdown { return r.phases.Breakdown() }
+
+// FlushMasters discards every parked warm master, mirroring
+// cluster.Runner.FlushMasters: cold-run benchmark sections call it so
+// retained deployments don't tax the cold runs' GC cycles.
+func (r *Runner) FlushMasters() { r.masters.DropAll() }
 
 // leaderFlap is the network-level attacker of the LeaderFlap plugin: on
 // every interval tick it finds the node currently acting as leader and
@@ -412,23 +467,44 @@ func corruptPayload(from, to simnet.Addr, payload any) any {
 // arms at measurement start, identically to the forked path, so a cold
 // run is the forked run's reference semantics.
 func (r *Runner) execute(sc scenario.Scenario, clients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
+	window := r.w.Measure
+	if !withFaults {
+		window = r.w.baselineWindow()
+	}
 	d := r.newDeployment(clients)
 	d.eng.RunFor(r.w.Warmup)
 	d.arm(sc, withFaults, extra...)
-	return d.measure(sc)
+	return d.measure(sc, window)
 }
 
 // executeFork runs the scenario by forking a warm master deployment for
-// the client count.
+// the client count. Baseline forks (withFaults=false) skip the per-phase
+// accounting: measureBaseline attributes their whole cost — including
+// the master's build, if this call triggers it — to the baseline phase.
 func (r *Runner) executeFork(sc scenario.Scenario, clients int64, withFaults bool, extra ...oracle.Checker) (core.Result, Report) {
+	window := r.w.Measure
+	if !withFaults {
+		window = r.w.baselineWindow()
+	}
 	d := r.masters.Acquire(clients, func() *deployment {
 		start := metrics.StartWatch()
-		defer func() { r.phases.AddWarmup(start.Elapsed()) }()
+		defer func() {
+			if withFaults {
+				r.phases.AddWarmup(start.Elapsed())
+			}
+		}()
 		d := r.newDeployment(clients)
 		d.eng.RunFor(r.w.Warmup)
 		return d
 	})
 	defer r.masters.Release(clients, d)
+	return r.forkRun(d, sc, withFaults, window, extra...)
+}
+
+// forkRun restores a checked-out master to its post-warmup snapshot
+// (capturing it on first use), arms the scenario and measures. Shared by
+// the pooled (executeFork) and per-worker-arena (RunForkWorker) paths.
+func (r *Runner) forkRun(d *deployment, sc scenario.Scenario, withFaults bool, window time.Duration, extra ...oracle.Checker) (core.Result, Report) {
 	forkStart := metrics.StartWatch()
 	if d.snap == nil {
 		d.capture()
@@ -436,10 +512,14 @@ func (r *Runner) executeFork(sc scenario.Scenario, clients int64, withFaults boo
 		d.restore()
 	}
 	d.arm(sc, withFaults, extra...)
-	r.phases.AddFork(forkStart.Elapsed())
+	if withFaults {
+		r.phases.AddFork(forkStart.Elapsed())
+	}
 	runStart := metrics.StartWatch()
-	res, rep := d.measure(sc)
-	r.phases.AddRun(runStart.Elapsed())
+	res, rep := d.measure(sc, window)
+	if withFaults {
+		r.phases.AddRun(runStart.Elapsed())
+	}
 	return res, rep
 }
 

@@ -85,11 +85,31 @@ func seqAt(s []uint64, a simnet.Addr) uint64 {
 	return 0
 }
 
-// seqPut writes a dense per-client sequence table, growing it on first
-// contact with a client address.
+// seqPut writes a dense per-client sequence table, growing it in
+// address-rounded blocks on first contact with a client address (the
+// old one-element-at-a-time append was a per-client allocation storm on
+// large populations).
 func seqPut(s *[]uint64, a simnet.Addr, v uint64) {
-	for int(a) >= len(*s) {
-		*s = append(*s, 0)
+	if int(a) >= len(*s) {
+		need := int(a) + 1
+		if cap(*s) < need {
+			size := 2 * cap(*s)
+			if size < need {
+				size = need
+			}
+			if size < 64 {
+				size = 64
+			}
+			grown := make([]uint64, need, size)
+			copy(grown, *s)
+			*s = grown
+		} else {
+			old := len(*s)
+			*s = (*s)[:need]
+			// The spare capacity may hold stale values from before a
+			// snapshot restore truncated the table.
+			clear((*s)[old:])
+		}
 	}
 	(*s)[a] = v
 }
@@ -232,6 +252,16 @@ type Node struct {
 	// pending tracks the highest uncommitted seq appended per client, so
 	// a retransmission of an in-flight request is not appended twice.
 	pending []uint64
+
+	// Message slabs (slab.go): every wire message the node sends is bump-
+	// allocated and rewound by Restore, keeping the forked hot path
+	// allocation-flat.
+	rvSlab  slab[RequestVote]        //avdlint:derived slab storage: Snapshot/Restore track the mark; surviving objects predate it and are never rewound
+	rvrSlab slab[RequestVoteReply]   //avdlint:derived slab storage: Snapshot/Restore track the mark; surviving objects predate it and are never rewound
+	aeSlab  slab[AppendEntries]      //avdlint:derived slab storage: Snapshot/Restore track the mark; surviving objects predate it and are never rewound
+	aerSlab slab[AppendEntriesReply] //avdlint:derived slab storage: Snapshot/Restore track the mark; surviving objects predate it and are never rewound
+	crSlab  slab[ClientReply]        //avdlint:derived slab storage: Snapshot/Restore track the mark; surviving objects predate it and are never rewound
+	entSlab entrySlab                //avdlint:derived slab storage: Snapshot/Restore track the mark; surviving objects predate it and are never rewound
 
 	// Oracle observers, invoked on the simulation goroutine: onLead when
 	// the node assumes leadership for a term, onApply for every log
@@ -413,7 +443,8 @@ func (n *Node) onElectionTimeout() {
 	n.stats.ElectionsStarted++
 	n.votes = 1 << uint(n.id)
 	lastIdx, lastTerm := n.lastLog()
-	rv := &RequestVote{Term: n.term, Candidate: n.id, LastLogIndex: lastIdx, LastLogTerm: lastTerm}
+	rv := n.rvSlab.get()
+	*rv = RequestVote{Term: n.term, Candidate: n.id, LastLogIndex: lastIdx, LastLogTerm: lastTerm}
 	for peer := 0; peer < n.cfg.N; peer++ {
 		if peer != n.id {
 			n.net.Send(simnet.Addr(n.id), simnet.Addr(peer), rv)
@@ -477,16 +508,19 @@ func (n *Node) sendAppend(peer int) {
 	if uint64(len(n.log)) >= next {
 		// Copy: the message outlives this call and the log's backing
 		// array is mutated in place on truncation after a step-down.
-		entries = append(entries, n.log[next-1:]...)
+		entries = n.entSlab.get(len(n.log) - int(next-1))
+		copy(entries, n.log[next-1:])
 	}
-	n.net.Send(simnet.Addr(n.id), simnet.Addr(peer), &AppendEntries{
+	ae := n.aeSlab.get()
+	*ae = AppendEntries{
 		Term:         n.term,
 		Leader:       n.id,
 		PrevLogIndex: prevIdx,
 		PrevLogTerm:  prevTerm,
 		Entries:      entries,
 		LeaderCommit: n.commit,
-	})
+	}
+	n.net.Send(simnet.Addr(n.id), simnet.Addr(peer), ae)
 }
 
 func (n *Node) onMessage(from simnet.Addr, payload any) {
@@ -522,8 +556,9 @@ func (n *Node) onRequestVote(m *RequestVote) {
 			n.resetElectionTimer()
 		}
 	}
-	n.net.Send(simnet.Addr(n.id), simnet.Addr(m.Candidate),
-		&RequestVoteReply{Term: n.term, From: n.id, Granted: granted})
+	rep := n.rvrSlab.get()
+	*rep = RequestVoteReply{Term: n.term, From: n.id, Granted: granted}
+	n.net.Send(simnet.Addr(n.id), simnet.Addr(m.Candidate), rep)
 }
 
 func (n *Node) onRequestVoteReply(m *RequestVoteReply) {
@@ -545,8 +580,7 @@ func (n *Node) onAppendEntries(m *AppendEntries) {
 		n.stepDown(m.Term)
 	}
 	if m.Term < n.term {
-		n.net.Send(simnet.Addr(n.id), simnet.Addr(m.Leader),
-			&AppendEntriesReply{Term: n.term, From: n.id, Success: false})
+		n.sendAppendReply(m.Leader, false, 0)
 		return
 	}
 	n.leader = m.Leader
@@ -555,8 +589,7 @@ func (n *Node) onAppendEntries(m *AppendEntries) {
 	if m.PrevLogIndex > 0 {
 		if uint64(len(n.log)) < m.PrevLogIndex || n.log[m.PrevLogIndex-1].Term != m.PrevLogTerm {
 			n.stats.AppendsRejected++
-			n.net.Send(simnet.Addr(n.id), simnet.Addr(m.Leader),
-				&AppendEntriesReply{Term: n.term, From: n.id, Success: false})
+			n.sendAppendReply(m.Leader, false, 0)
 			return
 		}
 	}
@@ -582,8 +615,21 @@ func (n *Node) onAppendEntries(m *AppendEntries) {
 		}
 		n.applyCommitted()
 	}
-	n.net.Send(simnet.Addr(n.id), simnet.Addr(m.Leader),
-		&AppendEntriesReply{Term: n.term, From: n.id, Success: true, MatchIndex: idx})
+	n.sendAppendReply(m.Leader, true, idx)
+}
+
+// sendAppendReply answers an AppendEntries from the reply slab.
+func (n *Node) sendAppendReply(leader int, success bool, matchIdx uint64) {
+	rep := n.aerSlab.get()
+	*rep = AppendEntriesReply{Term: n.term, From: n.id, Success: success, MatchIndex: matchIdx}
+	n.net.Send(simnet.Addr(n.id), simnet.Addr(leader), rep)
+}
+
+// sendClientReply answers a ClientRequest from the reply slab.
+func (n *Node) sendClientReply(client simnet.Addr, seq uint64, ok bool, leaderHint int) {
+	rep := n.crSlab.get()
+	*rep = ClientReply{Seq: seq, OK: ok, Leader: leaderHint}
+	n.net.Send(simnet.Addr(n.id), client, rep)
 }
 
 func (n *Node) onAppendEntriesReply(m *AppendEntriesReply) {
@@ -647,7 +693,7 @@ func (n *Node) applyCommitted() {
 			n.pending[e.Client] = 0
 		}
 		if n.role == leader {
-			n.net.Send(simnet.Addr(n.id), e.Client, &ClientReply{Seq: e.Seq, OK: true, Leader: n.id})
+			n.sendClientReply(e.Client, e.Seq, true, n.id)
 		}
 	}
 }
@@ -655,12 +701,12 @@ func (n *Node) applyCommitted() {
 func (n *Node) onClientRequest(m *ClientRequest) {
 	if n.role != leader {
 		n.stats.Redirects++
-		n.net.Send(simnet.Addr(n.id), m.Client, &ClientReply{Seq: m.Seq, OK: false, Leader: n.leader})
+		n.sendClientReply(m.Client, m.Seq, false, n.leader)
 		return
 	}
 	// Already applied (a late retransmission): answer immediately.
 	if m.Seq <= seqAt(n.lastSeq, m.Client) {
-		n.net.Send(simnet.Addr(n.id), m.Client, &ClientReply{Seq: m.Seq, OK: true, Leader: n.id})
+		n.sendClientReply(m.Client, m.Seq, true, n.id)
 		return
 	}
 	// Already in flight: the apply path will answer.

@@ -1,0 +1,78 @@
+package raftsim
+
+// This file ports the PBFT slab diet (internal/pbft/replica.go, PR 5) to
+// raftsim: every wire message a node or client sends used to be a fresh
+// heap allocation, which made sendAppend/onAppendEntries/Client.send the
+// top three sites of a campaign allocation profile (~36k allocs per
+// forked test vs PBFT's 30).
+//
+// slab is a rewindable bump allocator for protocol objects that are
+// built once, shared by pointer and never individually freed (vote
+// requests and replies, append batches, client requests and replies).
+//
+// Rewindability is what makes snapshot/fork execution allocation-flat:
+// everything a measurement window builds becomes unreachable the moment
+// the deployment restores its snapshot, so Restore rewinds each slab to
+// its capture mark and the next fork overwrites the same memory.
+// Objects are handed out dirty — every call site fully initializes the
+// object — and objects allocated before the mark are never rewound, so
+// pointers captured by the snapshot (in-flight messages inside the
+// engine's event snapshot) stay valid.
+type slab[T any] struct {
+	chunks [][]T
+	ci     int // chunk currently being carved
+	off    int // next free slot in that chunk
+}
+
+// slabMark is a rewind point: the allocation position at capture time.
+type slabMark struct{ ci, off int }
+
+const slabChunk = 512
+
+func (s *slab[T]) get() *T {
+	if s.ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]T, slabChunk))
+	}
+	c := s.chunks[s.ci]
+	p := &c[s.off]
+	if s.off++; s.off == len(c) {
+		s.ci++
+		s.off = 0
+	}
+	return p
+}
+
+func (s *slab[T]) mark() slabMark    { return slabMark{ci: s.ci, off: s.off} }
+func (s *slab[T]) rewind(m slabMark) { s.ci, s.off = m.ci, m.off }
+
+// entrySlab is the log-window variant of slab (PBFT's tagSlab shape): it
+// carves n-contiguous []Entry windows for AppendEntries batches — the
+// copy of log[next-1:] that each send must take because the log's
+// backing array is truncated in place on conflict — and rewinds the same
+// way.
+type entrySlab struct {
+	chunks [][]Entry
+	ci     int
+	off    int
+}
+
+func (s *entrySlab) get(n int) []Entry {
+	if s.ci < len(s.chunks) && s.off+n > len(s.chunks[s.ci]) {
+		s.ci++
+		s.off = 0
+	}
+	if s.ci == len(s.chunks) {
+		size := 256 * n
+		s.chunks = append(s.chunks, make([]Entry, size))
+	}
+	c := s.chunks[s.ci]
+	w := c[s.off : s.off+n : s.off+n]
+	if s.off += n; s.off == len(c) {
+		s.ci++
+		s.off = 0
+	}
+	return w
+}
+
+func (s *entrySlab) mark() slabMark    { return slabMark{ci: s.ci, off: s.off} }
+func (s *entrySlab) rewind(m slabMark) { s.ci, s.off = m.ci, m.off }

@@ -33,6 +33,16 @@ type NodeState struct {
 	lastSeq []uint64
 	pending []uint64
 
+	// Slab rewind points: Restore rewinds each message slab to its
+	// capture mark, so everything a measurement window bump-allocated is
+	// reused by the next fork (slab.go).
+	rvMark  slabMark
+	rvrMark slabMark
+	aeMark  slabMark
+	aerMark slabMark
+	crMark  slabMark
+	entMark slabMark
+
 	stats NodeStats
 }
 
@@ -54,6 +64,12 @@ func (n *Node) Snapshot() *NodeState {
 		heartbeatTimer: n.heartbeatTimer,
 		lastSeq:        append([]uint64(nil), n.lastSeq...),
 		pending:        append([]uint64(nil), n.pending...),
+		rvMark:         n.rvSlab.mark(),
+		rvrMark:        n.rvrSlab.mark(),
+		aeMark:         n.aeSlab.mark(),
+		aerMark:        n.aerSlab.mark(),
+		crMark:         n.crSlab.mark(),
+		entMark:        n.entSlab.mark(),
 		stats:          n.stats,
 	}
 	return s
@@ -61,6 +77,14 @@ func (n *Node) Snapshot() *NodeState {
 
 // Restore rolls the node back to the captured state.
 func (n *Node) Restore(s *NodeState) {
+	// Rewind the message slabs first: every object allocated after the
+	// mark is unreachable once the engine/network snapshots roll back.
+	n.rvSlab.rewind(s.rvMark)
+	n.rvrSlab.rewind(s.rvrMark)
+	n.aeSlab.rewind(s.aeMark)
+	n.aerSlab.rewind(s.aerMark)
+	n.crSlab.rewind(s.crMark)
+	n.entSlab.rewind(s.entMark)
 	n.crashed = s.crashed
 	n.role = s.role
 	n.term = s.term
@@ -88,6 +112,7 @@ type ClientState struct {
 	curRetry time.Duration
 	retryFor uint64
 	retry    sim.Timer
+	reqMark  slabMark
 	stats    ClientStats
 }
 
@@ -101,12 +126,14 @@ func (c *Client) Snapshot() *ClientState {
 		curRetry: c.curRetry,
 		retryFor: c.retryFor,
 		retry:    c.retry,
+		reqMark:  c.reqSlab.mark(),
 		stats:    c.stats,
 	}
 }
 
 // Restore rolls the client back to the captured state.
 func (c *Client) Restore(s *ClientState) {
+	c.reqSlab.rewind(s.reqMark)
 	c.running = s.running
 	c.seq = s.seq
 	c.target = s.target

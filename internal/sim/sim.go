@@ -176,6 +176,22 @@ type ArgCloner interface {
 	CloneSimArg() any
 }
 
+// ArgRecycler is optionally implemented by pooled ScheduleCall arguments
+// (alongside ArgCloner): when Restore discards a pending delivery — the
+// event was scheduled after the snapshot, so the rollback unschedules it
+// forever — the engine hands the argument back to its pool instead of
+// leaking it to the garbage collector. Combined with CloneSimArg drawing
+// clones from the same pool, a run/restore cycle recirculates the same
+// envelopes and the restore hot path stays allocation-free (ISSUE 10).
+// Only the argument's owner is recycled; snapshot master copies are
+// never handed back (Restore skips any argument its snapshot still
+// references).
+type ArgRecycler interface {
+	// RecycleSimArg returns the argument to its owner's pool. The engine
+	// guarantees no pending event references it afterwards.
+	RecycleSimArg()
+}
+
 // lane is a FIFO fast path for one recurring scheduling delay. Nearly
 // all events of a busy deployment are scheduled at now+d for a handful
 // of fixed d values (link latency, retransmission timeouts, heartbeat
@@ -826,12 +842,23 @@ func (e *Engine) Restore(s *Snapshot) {
 		// Delta path: copy back exactly the slots mutated since the last
 		// restore. Slots grown past the snapshot arena are invalidated;
 		// untouched grown slots were already invalidated by the previous
-		// restore and need no work.
+		// restore and need no work. A dirty slot still holding a pending
+		// pooled argument (fire clears args before dispatch, so non-nil
+		// means never delivered) is a delivery this rollback discards:
+		// hand the envelope back to its pool — unless the snapshot itself
+		// references the object (a detached master or a kept clone).
 		for _, idx := range e.dirty {
 			if int(idx) < len(s.arena) {
+				ev := &e.arena[idx]
+				if r, ok := ev.arg.(ArgRecycler); ok && !ev.canceled && ev.arg != s.arena[idx].arg {
+					r.RecycleSimArg()
+				}
 				e.arena[idx] = s.arena[idx]
 			} else {
 				ev := &e.arena[idx]
+				if r, ok := ev.arg.(ArgRecycler); ok && !ev.canceled {
+					r.RecycleSimArg()
+				}
 				ev.gen++
 				ev.fn, ev.call, ev.arg = nil, nil, nil
 			}

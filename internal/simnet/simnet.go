@@ -41,6 +41,10 @@ type Message struct {
 	// ExtraDelay is added to the link latency; interceptors add here to
 	// delay (and thereby reorder) traffic.
 	ExtraDelay time.Duration
+	// net points back at the owning network so snapshot/restore clones
+	// draw from the envelope pool instead of the heap (CloneSimArg) and
+	// discarded in-flight envelopes return to it (RecycleSimArg).
+	net *Network
 }
 
 // Verdict is an interceptor's ruling on a message.
@@ -127,8 +131,12 @@ type Network struct {
 	// freeMsgs recycles Message objects: a message's lifetime ends when
 	// delivery (or a drop) resolves, so the in-flight set is small and
 	// per-send allocation is avoidable. Interceptors must not retain
-	// *Message beyond Intercept.
-	//avdlint:ephemeral message pool: lifetimes end at delivery resolution, so no pooled entry crosses a fork live
+	// *Message beyond Intercept. Snapshot/restore participates in the
+	// pool: restore-time clones are drawn from it (CloneSimArg) and
+	// envelopes whose deliveries a rollback discards return to it
+	// (RecycleSimArg); every checkout is fully overwritten before use and
+	// snapshot masters never enter the pool.
+	//avdlint:ephemeral message pool: checkouts are fully overwritten and the engine recycles discarded deliveries, so no stale pooled entry is ever delivered
 	freeMsgs []*Message
 	// deliverFn is the pre-bound delivery callback handed to
 	// sim.Engine.ScheduleCall, avoiding a closure allocation per send.
@@ -198,8 +206,29 @@ func (n *Network) DisarmLinkFaults() { n.lf = linkFaults{} }
 // CloneSimArg implements sim.ArgCloner: in-flight message envelopes are
 // pooled (recycled at delivery), so an engine snapshot detaches a copy
 // and every restore delivers a fresh one. The payload pointer is shared —
-// protocol messages are treated as immutable once sent.
-func (m *Message) CloneSimArg() any { c := *m; return &c }
+// protocol messages are treated as immutable once sent. Clones draw from
+// the owning network's envelope pool: a restore-time clone is delivered
+// during the fork window and recycled right back, so the restore hot
+// path allocates nothing once the pool reaches steady state.
+func (m *Message) CloneSimArg() any {
+	if m.net == nil {
+		c := *m
+		return &c
+	}
+	c := m.net.getMsg()
+	*c = *m
+	return c
+}
+
+// RecycleSimArg implements sim.ArgRecycler: an envelope whose pending
+// delivery a snapshot restore discards returns to the pool instead of
+// leaking to the garbage collector. The engine guarantees the event that
+// held it is unscheduled and never recycles snapshot master copies.
+func (m *Message) RecycleSimArg() {
+	if m.net != nil {
+		m.net.putMsg(m)
+	}
+}
 
 // New returns a network running on eng with the given config.
 func New(eng *sim.Engine, cfg Config) *Network {
@@ -381,7 +410,7 @@ func (n *Network) getMsg() *Message {
 		n.freeMsgs = n.freeMsgs[:l-1]
 		return m
 	}
-	return &Message{}
+	return &Message{net: n}
 }
 
 func (n *Network) putMsg(m *Message) {
